@@ -1,0 +1,41 @@
+# Convenience targets for the islands repository. Everything is stdlib Go;
+# `go build ./...` with Go >= 1.22 is the only real requirement.
+
+GO ?= go
+
+.PHONY: all build vet test race bench tables examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate the paper's evaluation tables on the simulated UV 2000.
+tables:
+	$(GO) run ./cmd/paper-tables
+
+# Full paper-vs-model report with the published numbers interleaved.
+report:
+	$(GO) run ./cmd/experiments -o report.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/scenarios1d
+	$(GO) run ./examples/topologysweep
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/homogeneous
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,233 @@
+package islands
+
+import (
+	"testing"
+
+	"islands/internal/mpdata"
+)
+
+// refState aliases the solver state for the time-varying-flow test.
+type refState = mpdata.State
+
+func newSwirlState(n int, amp float64) *mpdata.State {
+	state := mpdata.NewState(Sz(n, n, 2))
+	state.SetCosineBell(float64(n)/2, float64(n)*0.3, 1, float64(n)/6, 1, 0.02)
+	state.SetSwirlVelocity(amp, 0, 40)
+	return state
+}
+
+func newRefSolver(s *mpdata.State) (*mpdata.Solver, error) {
+	return mpdata.NewSolver(s)
+}
+
+func TestPublicCoreIslandsAndGrid2D(t *testing.T) {
+	run := func(cfg Config) []float64 {
+		sim, err := NewSimulation(Sz(20, 16, 6), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.State.SetGaussian(10, 8, 3, 2, 1, 0.1)
+		sim.State.SetRotationVelocityZ(0.02)
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.State.Psi.Data
+	}
+	base := run(Config{Processors: 2, Strategy: Original, Boundary: Clamp, Steps: 2})
+	core := run(Config{Processors: 2, Strategy: IslandsOfCores, Boundary: Clamp, Steps: 2,
+		BlockI: 5, CoreIslands: true})
+	grid2 := run(Config{Processors: 2, Strategy: IslandsOfCores, Boundary: Clamp, Steps: 2,
+		BlockI: 5, IslandGrid: [2]int{1, 2}})
+	for i := range base {
+		if base[i] != core[i] {
+			t.Fatalf("core islands diverge at %d", i)
+		}
+		if base[i] != grid2[i] {
+			t.Fatalf("2D islands diverge at %d", i)
+		}
+	}
+}
+
+func TestPublicIORDKnob(t *testing.T) {
+	run := func(cfg Config) float64 {
+		sim, err := NewSimulation(Sz(24, 8, 4), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.State.SetGaussian(8, 4, 2, 2, 1, 0.05)
+		sim.State.SetUniformVelocity(0.5, 0, 0)
+		exact := sim.State.Psi.Clone()
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// 0.5 * 48 steps = 24 cells = one period under periodic BC.
+		var l2 float64
+		for i, v := range sim.State.Psi.Data {
+			d := v - exact.Data[i]
+			l2 += d * d
+		}
+		return l2
+	}
+	base := Config{Processors: 1, Strategy: Original, Boundary: Periodic, Steps: 48}
+	first := base
+	first.IORD = 1
+	third := base
+	third.IORD = 3
+	e1, e2, e3 := run(first), run(base), run(third)
+	if !(e3 < e2 && e2 < e1) {
+		t.Fatalf("errors must fall with IORD: %.4g %.4g %.4g", e1, e2, e3)
+	}
+}
+
+func TestPublicUnlimitedKnob(t *testing.T) {
+	pred, err := Predict(Sz(128, 64, 16), Config{
+		Processors: 2, Strategy: IslandsOfCores, Steps: 5, Unlimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := Predict(Sz(128, 64, 16), Config{
+		Processors: 2, Strategy: IslandsOfCores, Steps: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unlimited variant drops 6 of 17 stages: it must be predicted
+	// faster.
+	if pred.Time >= limited.Time {
+		t.Fatalf("unlimited (%.4f s) must beat limited (%.4f s)", pred.Time, limited.Time)
+	}
+}
+
+func TestPublicAdvise(t *testing.T) {
+	recs, err := Advise(Sz(256, 128, 16), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 4 {
+		t.Fatalf("expected several recommendations, got %d", len(recs))
+	}
+	if recs[0].Name == "original" || recs[0].Name == "(3+1)D" {
+		t.Fatalf("islands should win on 4 sockets, got %q", recs[0].Name)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Fatal("recommendations not sorted")
+		}
+	}
+	if recs[0].Rationale == "" {
+		t.Fatal("missing rationale")
+	}
+	if _, err := Advise(Sz(8, 8, 8), 99, 5); err == nil {
+		t.Fatal("expected error for invalid processor count")
+	}
+}
+
+// TestOnStepHookTimeVaryingFlow: the per-step hook supports time-dependent
+// velocity fields; the parallel islands execution of the swirling-
+// deformation flow must match the sequential reference solver exactly.
+func TestOnStepHookTimeVaryingFlow(t *testing.T) {
+	const n, period, steps = 24, 40, 12
+	amp := 0.3
+
+	// Sequential reference with the solver's pre-step updater, under the
+	// clamp boundaries the islands' halo accounting assumes (the swirl
+	// flow has zero velocity at the walls, so clamping is physical).
+	ref := newSwirlState(n, amp)
+	solver, err := newRefSolver(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.SetBoundary(Clamp)
+	solver.VelocityUpdater = func(step int, s *refState) {
+		s.SetSwirlVelocity(amp, step, period)
+	}
+	solver.Step(steps)
+
+	// Parallel islands with the post-step hook (velocities for step k+1
+	// are installed after step k completes; step 0 is set up front).
+	sim, err := NewSimulation(Sz(n, n, 2), Config{
+		Processors: 2, Strategy: IslandsOfCores, Boundary: Clamp,
+		Steps: steps, BlockI: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical runtime expressions to newSwirlState: constant folding of
+	// n*0.3 differs from float64(n)*0.3 by one ULP, which the bit-exact
+	// comparison below would catch.
+	sim.State.SetCosineBell(float64(n)/2, float64(n)*0.3, 1, float64(n)/6, 1, 0.02)
+	sim.State.SetSwirlVelocity(amp, 0, period)
+	sim.OnStep = func(step int) {
+		sim.State.SetSwirlVelocity(amp, step+1, period)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Psi.Data {
+		if ref.Psi.Data[i] != sim.State.Psi.Data[i] {
+			t.Fatalf("time-varying parallel run diverges at cell %d", i)
+		}
+	}
+}
+
+func TestPredictCoreIslandsReportsMoreRedundancy(t *testing.T) {
+	domain := Sz(256, 128, 16)
+	base, err := Predict(domain, Config{Processors: 4, Strategy: IslandsOfCores, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := Predict(domain, Config{Processors: 4, Strategy: IslandsOfCores, Steps: 2, CoreIslands: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.ExtraElementsPct <= base.ExtraElementsPct {
+		t.Fatalf("core islands redundancy %.2f%% must exceed %.2f%%",
+			core.ExtraElementsPct, base.ExtraElementsPct)
+	}
+}
+
+// TestPublicCheckpoint: Save/Load round-trips through the public API and a
+// resumed run matches an uninterrupted one bit for bit.
+func TestPublicCheckpoint(t *testing.T) {
+	cfg := Config{Processors: 2, Strategy: IslandsOfCores, Boundary: Clamp, Steps: 4, BlockI: 6}
+	mk := func(steps int) *Simulation {
+		c := cfg
+		c.Steps = steps
+		sim, err := NewSimulation(Sz(20, 16, 6), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.State.SetGaussian(10, 8, 3, 2, 1, 0.1)
+		sim.State.SetUniformVelocity(0.2, 0.1, 0)
+		return sim
+	}
+	straight := mk(8)
+	if err := straight.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	first := mk(4)
+	if err := first.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/sim.islc"
+	if err := first.Save(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	resumed, steps, err := Load(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 4 {
+		t.Fatalf("restored steps = %d", steps)
+	}
+	if err := resumed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range straight.State.Psi.Data {
+		if straight.State.Psi.Data[i] != resumed.State.Psi.Data[i] {
+			t.Fatalf("resumed run diverges at cell %d", i)
+		}
+	}
+}

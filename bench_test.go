@@ -1,0 +1,291 @@
+package islands
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkTable1*    — Table 1: original (serial/first-touch) and (3+1)D
+//	BenchmarkTable2     — Table 2: extra elements, variants A and B
+//	BenchmarkTable3*    — Table 3 / Fig. 2: the three strategies + speedups
+//	BenchmarkTable4     — Table 4: sustained Gflop/s and utilization
+//	BenchmarkVariantAB  — §5 ablation: variant A vs B execution
+//	BenchmarkTraffic    — §3.2: 133 GB -> 30 GB single-socket traffic
+//	BenchmarkCrossover  — §4.1 extension: interconnect sweep
+//	BenchmarkCompute*   — real parallel execution of the three strategies
+//
+// Modeled seconds for the paper's configuration are attached to each run as
+// the custom metric "modeled-s"; paper values are in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"islands/internal/decomp"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+var paperGrid = grid.Sz(1024, 512, 64)
+
+const paperSteps = 50
+
+// benchPs is the processor range the tables sweep; the full 1..14 range is
+// covered by the CLI (cmd/paper-tables), benches sample the corners.
+var benchPs = []int{1, 2, 4, 8, 14}
+
+func modelBench(b *testing.B, strat exec.Strategy, placement grid.PlacementPolicy, variant decomp.Variant, p int) {
+	b.Helper()
+	m, err := topology.UV2000(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	var last *exec.ModelResult
+	for i := 0; i < b.N; i++ {
+		last, err = exec.Model(exec.Config{
+			Machine: m, Strategy: strat, Placement: placement, Variant: variant, Steps: paperSteps,
+		}, prog, paperGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.TotalTime, "modeled-s")
+	b.ReportMetric(last.SustainedFlops()/1e9, "modeled-Gflop/s")
+}
+
+func BenchmarkTable1OriginalSerialInit(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			modelBench(b, exec.Original, grid.FirstTouchSerial, decomp.VariantA, p)
+		})
+	}
+}
+
+func BenchmarkTable1OriginalFirstTouch(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			modelBench(b, exec.Original, grid.FirstTouchParallel, decomp.VariantA, p)
+		})
+	}
+}
+
+func BenchmarkTable1Plus31D(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			modelBench(b, exec.Plus31D, grid.FirstTouchParallel, decomp.VariantA, p)
+		})
+	}
+}
+
+// BenchmarkTable2 measures the mechanical redundancy analysis itself and
+// reports the variant A/B percentages at P=14 (paper: 3.21% / 6.42%).
+func BenchmarkTable2ExtraElements(b *testing.B) {
+	prog := &mpdata.NewProgram().Program
+	var a14, b14 float64
+	for i := 0; i < b.N; i++ {
+		h, err := stencil.Analyze(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a14 = decomp.ExtraElementsPercent(h, paperGrid, decomp.Partition1D(paperGrid, 14, decomp.VariantA))
+		b14 = decomp.ExtraElementsPercent(h, paperGrid, decomp.Partition1D(paperGrid, 14, decomp.VariantB))
+	}
+	b.ReportMetric(a14, "variantA-%")
+	b.ReportMetric(b14, "variantB-%")
+}
+
+// BenchmarkTable3 prices the three strategies and reports the headline
+// speedups (paper at P=14: S_pr = 10.3, S_ov = 2.78).
+func BenchmarkTable3Speedups(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m, err := topology.UV2000(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := &mpdata.NewProgram().Program
+			var spr, sov float64
+			for i := 0; i < b.N; i++ {
+				price := func(s exec.Strategy) float64 {
+					r, err := exec.Model(exec.Config{
+						Machine: m, Strategy: s, Placement: grid.FirstTouchParallel, Steps: paperSteps,
+					}, prog, paperGrid)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return r.TotalTime
+				}
+				orig := price(exec.Original)
+				blocked := price(exec.Plus31D)
+				isl := price(exec.IslandsOfCores)
+				spr = blocked / isl
+				sov = orig / isl
+			}
+			b.ReportMetric(spr, "S_pr")
+			b.ReportMetric(sov, "S_ov")
+		})
+	}
+}
+
+func BenchmarkTable3Islands(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			modelBench(b, exec.IslandsOfCores, grid.FirstTouchParallel, decomp.VariantA, p)
+		})
+	}
+}
+
+// BenchmarkTable4 reports sustained performance and utilization of the
+// islands approach (paper at P=14: 390.1 Gflop/s, 26.3%).
+func BenchmarkTable4Sustained(b *testing.B) {
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m, err := topology.UV2000(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := &mpdata.NewProgram().Program
+			var g, util float64
+			for i := 0; i < b.N; i++ {
+				r, err := exec.Model(exec.Config{
+					Machine: m, Strategy: exec.IslandsOfCores,
+					Placement: grid.FirstTouchParallel, Steps: paperSteps,
+				}, prog, paperGrid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g = r.SustainedFlops() / 1e9
+				util = 100 * r.SustainedFlops() / m.PeakFlops()
+			}
+			b.ReportMetric(g, "Gflop/s")
+			b.ReportMetric(util, "util-%")
+		})
+	}
+}
+
+// BenchmarkVariantAB is the §5 mapping ablation at P=14.
+func BenchmarkVariantAB(b *testing.B) {
+	for _, v := range []decomp.Variant{decomp.VariantA, decomp.VariantB} {
+		b.Run("variant"+v.String(), func(b *testing.B) {
+			modelBench(b, exec.IslandsOfCores, grid.FirstTouchParallel, v, 14)
+		})
+	}
+}
+
+// BenchmarkTraffic reproduces §3.2's single-socket traffic comparison
+// (paper: 133 GB vs 30 GB for 256x256x64, 50 steps).
+func BenchmarkTraffic(b *testing.B) {
+	domain := grid.Sz(256, 256, 64)
+	m := topology.SingleSocket()
+	prog := &mpdata.NewProgram().Program
+	for _, strat := range []exec.Strategy{exec.Original, exec.Plus31D} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var gb float64
+			for i := 0; i < b.N; i++ {
+				r, err := exec.Model(exec.Config{Machine: m, Strategy: strat, Steps: 50}, prog, domain)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gb = r.MemTrafficBytes / 1e9
+			}
+			b.ReportMetric(gb, "traffic-GB")
+		})
+	}
+}
+
+// BenchmarkCrossover sweeps the interconnect quality (the §4.1 trade-off /
+// future-work extension) and reports the islands' advantage at the extremes.
+func BenchmarkCrossover(b *testing.B) {
+	domain := grid.Sz(512, 256, 32)
+	prog := &mpdata.NewProgram().Program
+	for _, pt := range []struct {
+		name string
+		bw   float64
+		lat  float64
+	}{
+		{"fast-fabric", 200e9, 0.05e-6},
+		{"numalink", 13.4e9, 0.35e-6},
+		{"slow-network", 1e9, 5e-6},
+	} {
+		b.Run(pt.name, func(b *testing.B) {
+			m, err := topology.Symmetric(8, pt.bw, pt.lat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				price := func(s exec.Strategy) float64 {
+					r, err := exec.Model(exec.Config{
+						Machine: m, Strategy: s, Placement: grid.FirstTouchParallel, Steps: 10,
+					}, prog, domain)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return r.TotalTime
+				}
+				ratio = price(exec.Plus31D) / price(exec.IslandsOfCores)
+			}
+			b.ReportMetric(ratio, "islands-advantage-x")
+		})
+	}
+}
+
+// BenchmarkCompute runs the real parallel computation (goroutine work teams)
+// of one MPDATA step for each strategy and reports cell throughput.
+func BenchmarkCompute(b *testing.B) {
+	domain := grid.Sz(128, 64, 16)
+	for _, strat := range []exec.Strategy{exec.Original, exec.Plus31D, exec.IslandsOfCores} {
+		b.Run(strat.String(), func(b *testing.B) {
+			m, err := topology.UV2000(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			state := mpdata.NewState(domain)
+			state.SetGaussian(64, 32, 8, 4, 1, 0.1)
+			state.SetUniformVelocity(0.2, 0.1, 0.05)
+			runner, err := exec.NewRunner(exec.Config{
+				Machine: m, Strategy: strat, Boundary: stencil.Clamp, Steps: 1, BlockI: 16,
+			}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer runner.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(domain.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkReferenceSolver measures the sequential reference MPDATA step.
+func BenchmarkReferenceSolver(b *testing.B) {
+	state := mpdata.NewState(grid.Sz(64, 64, 16))
+	state.SetGaussian(32, 32, 8, 4, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	solver, err := mpdata.NewSolver(state)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.Step(1)
+	}
+	b.ReportMetric(float64(state.Domain.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkHaloAnalysis measures the backward dependency analysis of the
+// 17-stage program (the planning cost of the islands approach).
+func BenchmarkHaloAnalysis(b *testing.B) {
+	prog := &mpdata.NewProgram().Program
+	for i := 0; i < b.N; i++ {
+		if _, err := stencil.Analyze(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

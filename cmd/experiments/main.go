@@ -1,0 +1,41 @@
+// Command experiments runs the complete reproduction suite — every paper
+// table with the published numbers interleaved, every ablation and
+// extension table, and the per-experiment deviation summary — and writes a
+// self-contained markdown report.
+//
+// Usage:
+//
+//	experiments                 # report to stdout
+//	experiments -o report.md    # write to a file
+//	experiments -maxp 8         # restrict the processor sweep
+package main
+
+import (
+	"flag"
+	"io"
+	"log"
+	"os"
+
+	"islands/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	maxP := flag.Int("maxp", 14, "largest number of UV 2000 processors to sweep")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.Generate(w, *maxP); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Command field-info inspects field files (written by mpdata-sim -dump or
+// grid.SaveField) and MPDATA checkpoints: metadata, physical diagnostics,
+// and an optional ASCII rendering of one horizontal slice.
+//
+// Examples:
+//
+//	field-info psi.islf
+//	field-info -slice 8 psi.islf
+//	field-info -checkpoint run.islc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("field-info: ")
+	slice := flag.Int("slice", -1, "render this k-slice as ASCII art")
+	checkpoint := flag.Bool("checkpoint", false, "treat the file as an MPDATA checkpoint (5 fields + step counter)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: field-info [-slice K] [-checkpoint] FILE")
+	}
+	path := flag.Arg(0)
+
+	if *checkpoint {
+		state, steps, err := mpdata.LoadCheckpoint(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint %s: domain %v, %d completed steps\n", path, state.Domain, steps)
+		for _, f := range []*grid.Field{state.Psi, state.U1, state.U2, state.U3, state.H} {
+			fmt.Printf("  %-4s %s\n", f.Name(), mpdata.Diagnose(f))
+		}
+		if *slice >= 0 {
+			fmt.Print(grid.RenderSlice(state.Psi, *slice))
+		}
+		return
+	}
+
+	f, err := grid.LoadField(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field %s: %q, %v (%d cells, %.1f MiB)\n",
+		path, f.Name(), f.Size, f.Size.Cells(), float64(f.Size.Cells())*8/(1<<20))
+	fmt.Printf("  %s\n", mpdata.Diagnose(f))
+	if *slice >= 0 {
+		fmt.Print(grid.RenderSlice(f, *slice))
+	}
+}

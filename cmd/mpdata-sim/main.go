@@ -1,0 +1,232 @@
+// Command mpdata-sim runs one MPDATA configuration: it executes the real
+// numerical computation with the chosen strategy on goroutine work teams,
+// verifies the physics invariants, and prints the modeled execution time of
+// the same configuration on the simulated SGI UV 2000.
+//
+// Example:
+//
+//	mpdata-sim -grid 128x64x16 -steps 20 -strategy islands -p 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"islands"
+	"islands/internal/advisor"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/perf"
+	"islands/internal/topology"
+)
+
+func parseGrid(s string) (islands.Size, error) {
+	var ni, nj, nk int
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &ni, &nj, &nk); err != nil {
+		return islands.Size{}, fmt.Errorf("grid must look like 128x64x16: %w", err)
+	}
+	sz := islands.Sz(ni, nj, nk)
+	if !sz.Valid() {
+		return islands.Size{}, fmt.Errorf("grid extents must be positive: %s", s)
+	}
+	return sz, nil
+}
+
+func parseStrategy(s string) (islands.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "original":
+		return islands.Original, nil
+	case "3+1d", "(3+1)d", "blocked":
+		return islands.Plus31D, nil
+	case "islands", "islands-of-cores":
+		return islands.IslandsOfCores, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (original, 3+1d, islands)", s)
+	}
+}
+
+func parsePlacement(s string) (islands.Placement, error) {
+	switch strings.ToLower(s) {
+	case "serial", "first-touch-serial":
+		return islands.FirstTouchSerial, nil
+	case "parallel", "first-touch", "first-touch-parallel":
+		return islands.FirstTouchParallel, nil
+	case "interleaved":
+		return islands.Interleaved, nil
+	default:
+		return 0, fmt.Errorf("unknown placement %q (serial, parallel, interleaved)", s)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpdata-sim: ")
+	gridFlag := flag.String("grid", "128x64x16", "domain size NIxNJxNK")
+	steps := flag.Int("steps", 10, "number of time steps")
+	p := flag.Int("p", 2, "number of UV 2000 processors (1..14)")
+	strategyFlag := flag.String("strategy", "islands", "original | 3+1d | islands")
+	placementFlag := flag.String("placement", "parallel", "serial | parallel | interleaved page placement")
+	variantFlag := flag.String("variant", "A", "1D island mapping variant (A = i dimension, B = j)")
+	compute := flag.Bool("compute", true, "run the real numerical computation")
+	advise := flag.Bool("advise", false, "price every strategy/mapping on the machine model and rank them")
+	counters := flag.Bool("counters", false, "print per-socket and per-link traffic counters for the modeled run")
+	trace := flag.Bool("trace", false, "print the simulated timeline of one step (model profiling)")
+	coreIslands := flag.Bool("coreislands", false, "apply islands inside each socket (per-core sub-islands)")
+	iord := flag.Int("iord", 2, "MPDATA order (number of passes, 1..4)")
+	dump := flag.String("dump", "", "write the final psi field to this file (grid field format)")
+	plan := flag.Bool("plan", false, "print the execution geometry (islands, blocks, redundancy) and exit")
+	topo := flag.Bool("topology", false, "print the simulated machine description and exit")
+	flag.Parse()
+
+	domain, err := parseGrid(*gridFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategy, err := parseStrategy(*strategyFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement, err := parsePlacement(*placementFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variant := islands.VariantA
+	if strings.EqualFold(*variantFlag, "B") {
+		variant = islands.VariantB
+	} else if !strings.EqualFold(*variantFlag, "A") {
+		log.Fatalf("unknown variant %q", *variantFlag)
+	}
+
+	cfg := islands.Config{
+		Processors:  *p,
+		Strategy:    strategy,
+		Placement:   placement,
+		Variant:     variant,
+		Boundary:    islands.Clamp,
+		Steps:       *steps,
+		CoreIslands: *coreIslands,
+		IORD:        *iord,
+	}
+
+	if *advise {
+		m, err := topology.UV2000(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := &mpdata.NewProgram().Program
+		cands, err := advisor.Advise(m, prog, domain, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("strategy advice for %v, %d steps on %d sockets:\n", domain, *steps, *p)
+		fmt.Print(advisor.Report(cands))
+		return
+	}
+
+	fmt.Printf("MPDATA %v, %d steps, %s on %d x Xeon E5-4627v2 (%s placement, variant %v)\n",
+		domain, *steps, strategy, *p, placement, variant)
+
+	if *topo {
+		m, err := topology.UV2000(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(m.Describe())
+		return
+	}
+
+	if *plan {
+		m, err := topology.UV2000(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: *iord, NonOscillatory: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := &kp.Program
+		out, err := exec.DescribePlan(exec.Config{
+			Machine: m, Strategy: strategy, Placement: placement,
+			Variant: variant, Steps: *steps, CoreIslands: *coreIslands,
+		}, prog, domain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *compute {
+		sim, err := islands.NewSimulation(domain, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ci := float64(domain.NI) / 2
+		cj := float64(domain.NJ) / 2
+		ck := float64(domain.NK) / 2
+		sim.State.SetGaussian(ci, cj, ck, float64(domain.NK)/4, 1, 0.1)
+		sim.State.SetRotationVelocityZ(0.5 / (ci + cj))
+		before := sim.State.Psi.Sum()
+		if err := sim.Run(); err != nil {
+			log.Fatal(err)
+		}
+		after := sim.State.Psi.Sum()
+		fmt.Printf("computation: done; mass %.6f -> %.6f (drift %.2e), min %.3e\n",
+			before, after, (after-before)/before, sim.State.Psi.Min())
+		if *dump != "" {
+			if err := grid.SaveField(*dump, sim.State.Psi); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("final field written to %s\n", *dump)
+		}
+	} else if *dump != "" {
+		log.Fatal("-dump requires -compute=true")
+	}
+
+	pred, err := islands.Predict(domain, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modeled UV 2000 time:   %.3f s (%.1f Gflop/s sustained, %.1f%% of peak)\n",
+		pred.Time, pred.SustainedGflops, pred.UtilizationPct)
+	fmt.Printf("memory traffic:         %.2f GB (%.2f GB over NUMAlink)\n",
+		pred.MemTrafficGB, pred.RemoteTrafficGB)
+	if strategy == islands.IslandsOfCores {
+		fmt.Printf("redundant computation:  %.2f%% extra elements\n", pred.ExtraElementsPct)
+	}
+
+	if *counters || *trace {
+		m, err := topology.UV2000(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: *iord, NonOscillatory: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := &kp.Program
+		ec := exec.Config{
+			Machine: m, Strategy: strategy, Placement: placement,
+			Variant: variant, Steps: *steps, CoreIslands: *coreIslands,
+		}
+		if *counters {
+			r, err := exec.Model(ec, prog, domain)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+			fmt.Print(perf.CountersTable(m, r).Render())
+		}
+		if *trace {
+			_, timeline, err := exec.ModelTrace(ec, prog, domain, 100)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+			fmt.Print(timeline)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command paper-tables regenerates the evaluation section of the paper:
+// Tables 1-4, the Fig. 2 series, the variant A/B ablation, and the §3.2
+// single-socket memory-traffic comparison, all on the simulated SGI UV 2000.
+//
+// Usage:
+//
+//	paper-tables              # all tables
+//	paper-tables -table 3     # one table (1..6; 5 = variant ablation,
+//	                          # 6 = traffic comparison)
+//	paper-tables -maxp 8      # restrict the processor sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"islands"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper-tables: ")
+	table := flag.Int("table", 0, "table to print (0 = all; 1-4 paper tables, 5 variant ablation, 6 traffic, 7 2D islands, 8 roofline, 9 weak scaling, 10 domain sweep, 11 affinity, 12 time breakdown)")
+	maxP := flag.Int("maxp", 14, "largest number of UV 2000 processors to sweep")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+	flag.Parse()
+	if *maxP < 1 || *maxP > 14 {
+		log.Fatalf("-maxp must be in 1..14, got %d", *maxP)
+	}
+
+	sweep := islands.PaperSweep(*maxP)
+	emit := func(id int, f func() (*islands.Table, error)) {
+		if *table != 0 && *table != id {
+			return
+		}
+		t, err := f()
+		if err != nil {
+			log.Fatalf("table %d: %v", id, err)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	emit(1, sweep.Table1)
+	emit(2, func() (*islands.Table, error) { return islands.PaperTable2(*maxP) })
+	emit(3, sweep.Table3)
+	emit(4, sweep.Table4)
+	emit(5, sweep.VariantTable)
+	emit(6, islands.PaperTrafficTable)
+	emit(7, func() (*islands.Table, error) { return sweep.Islands2DTable(*maxP) })
+	emit(8, islands.PaperRooflineTable)
+	emit(9, func() (*islands.Table, error) { return islands.PaperWeakScalingTable(*maxP) })
+	emit(10, islands.PaperDomainSweepTable)
+	emit(11, islands.PaperAffinityTable)
+	emit(12, islands.PaperBreakdownTable)
+
+	if *table == 0 || *table == 3 {
+		// Fig. 2 uses the Table 3 series; point the reader at it.
+		fmt.Fprintln(os.Stdout, "Fig. 2a = execution-time rows of Table 3; Fig. 2b = S_pr and S_ov rows.")
+	}
+}

@@ -1,0 +1,69 @@
+// Command stencil-info inspects the MPDATA stage graph: the per-stage table
+// (inputs, extents, flops), the backward halo analysis, the redundant-element
+// accounting for a chosen island partition, and an optional Graphviz dump.
+//
+// Examples:
+//
+//	stencil-info                          # the paper's 17-stage program
+//	stencil-info -iord 3                  # with a second corrective pass
+//	stencil-info -unlimited               # without the limiter
+//	stencil-info -islands 14 -grid 1024x512x64
+//	stencil-info -dot > mpdata.dot        # stage DAG for graphviz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"islands/internal/decomp"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-info: ")
+	iord := flag.Int("iord", 2, "MPDATA order (number of passes, 1..4)")
+	unlimited := flag.Bool("unlimited", false, "disable the non-oscillatory limiter")
+	dot := flag.Bool("dot", false, "emit the stage graph in Graphviz format and exit")
+	islandsN := flag.Int("islands", 14, "islands for the extra-element accounting")
+	gridFlag := flag.String("grid", "1024x512x64", "domain for the extra-element accounting")
+	flag.Parse()
+
+	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{
+		IORD:           *iord,
+		NonOscillatory: !*unlimited,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dot {
+		fmt.Print(kp.DOT())
+		return
+	}
+	h, err := stencil.Analyze(&kp.Program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(kp.Describe(h))
+
+	var ni, nj, nk int
+	if _, err := fmt.Sscanf(*gridFlag, "%dx%dx%d", &ni, &nj, &nk); err != nil {
+		log.Fatalf("bad -grid: %v", err)
+	}
+	domain := grid.Sz(ni, nj, nk)
+	if !domain.Valid() || domain.NI < *islandsN {
+		log.Fatalf("domain %v cannot host %d islands", domain, *islandsN)
+	}
+	fmt.Printf("\nredundant elements for 1D island mappings of %v:\n", domain)
+	for _, v := range []decomp.Variant{decomp.VariantA, decomp.VariantB} {
+		if v == decomp.VariantB && domain.NJ < *islandsN {
+			continue
+		}
+		parts := decomp.Partition1D(domain, *islandsN, v)
+		fmt.Printf("  variant %v, %d islands: %.2f%%\n",
+			v, *islandsN, decomp.ExtraElementsPercent(h, domain, parts))
+	}
+}

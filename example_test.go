@@ -1,0 +1,73 @@
+package islands_test
+
+import (
+	"fmt"
+
+	"islands"
+)
+
+// ExampleSimulation advances a small advection problem with the
+// islands-of-cores strategy and verifies the physics invariants.
+func ExampleSimulation() {
+	sim, err := islands.NewSimulation(islands.Sz(32, 24, 8), islands.Config{
+		Processors: 2,
+		Strategy:   islands.IslandsOfCores,
+		Boundary:   islands.Clamp,
+		Steps:      10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim.State.SetGaussian(16, 12, 4, 3, 1, 0.1)
+	sim.State.SetUniformVelocity(0.2, 0.1, 0)
+	if err := sim.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("positive definite: %v\n", sim.State.Psi.Min() >= 0)
+	// Output:
+	// positive definite: true
+}
+
+// ExamplePredict prices the paper's P=14 benchmark configuration on the
+// simulated SGI UV 2000.
+func ExamplePredict() {
+	pred, err := islands.Predict(islands.Sz(1024, 512, 64), islands.Config{
+		Processors: 14,
+		Strategy:   islands.IslandsOfCores,
+		Placement:  islands.FirstTouchParallel,
+		Steps:      50,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within the paper's band: %v\n", pred.Time > 0.5 && pred.Time < 1.5)
+	fmt.Printf("redundancy below 5%%:    %v\n", pred.ExtraElementsPct < 5)
+	// Output:
+	// within the paper's band: true
+	// redundancy below 5%:    true
+}
+
+// ExampleAdvise ranks the execution strategies for a configuration.
+func ExampleAdvise() {
+	recs, err := islands.Advise(islands.Sz(512, 256, 32), 8, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("candidates ranked: %v\n", len(recs) >= 5)
+	fmt.Printf("slowest is a non-islands baseline: %v\n",
+		recs[len(recs)-1].Name == "(3+1)D" || recs[len(recs)-1].Name == "original")
+	// Output:
+	// candidates ranked: true
+	// slowest is a non-islands baseline: true
+}
+
+// ExampleUV2000 inspects the simulated machine.
+func ExampleUV2000() {
+	m, err := islands.UV2000(14)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d cores, %.1f Gflop/s peak\n", m.TotalCores(), m.PeakFlops()/1e9)
+	// Output:
+	// 112 cores, 1478.4 Gflop/s peak
+}

@@ -1,0 +1,64 @@
+// Cluster scales the islands-of-cores approach beyond one SGI UV 2000 —
+// the paper's §6 plan ("we plan to study the usage of MPI for extending the
+// scalability of our approach for much larger system configurations"). The
+// islands abstraction needs no change: machines become graphs with slower
+// inter-IRU edges, each NUMA node stays one island, and only the per-step
+// synchronization and the thin input halos cross the external network.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	domain := grid.Sz(2048, 512, 64)
+	prog := &mpdata.NewProgram().Program
+	const steps = 50
+	useful := exec.UsefulFlopsPerStep(prog, domain) * steps
+
+	fmt.Printf("MPDATA %v, %d steps: islands-of-cores across UV 2000 IRUs\n\n", domain, steps)
+	fmt.Printf("%-18s %8s %12s %14s %12s %10s\n",
+		"machine", "sockets", "islands [s]", "Gflop/s", "% of peak", "efficiency")
+
+	var t1 float64
+	for _, cfg := range []struct{ irus, per int }{
+		{1, 1}, {1, 7}, {1, 14}, {2, 14}, {4, 14},
+	} {
+		m, err := topology.ClusterOfUV(cfg.irus, cfg.per)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := exec.Model(exec.Config{
+			Machine:   m,
+			Strategy:  exec.IslandsOfCores,
+			Placement: grid.FirstTouchParallel,
+			Steps:     steps,
+		}, prog, domain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := m.NumNodes()
+		if t1 == 0 {
+			t1 = r.TotalTime
+		}
+		g := useful / r.TotalTime / 1e9
+		fmt.Printf("%-18s %8d %12.2f %14.1f %11.1f%% %9.1f%%\n",
+			m.Name, p, r.TotalTime, g,
+			100*g*1e9/m.PeakFlops(),
+			100*t1/(r.TotalTime*float64(p)))
+	}
+
+	fmt.Println("\nreading: islands stay independent within a time step, so even the")
+	fmt.Println("InfiniBand hop between IRUs only carries the per-step synchronization")
+	fmt.Println("and the few halo columns of the input arrays — scaling continues far")
+	fmt.Println("past the single-machine configuration the paper measured.")
+}

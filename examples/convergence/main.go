@@ -1,0 +1,45 @@
+// Convergence runs a grid-refinement study of the MPDATA variants: it
+// advects a smooth profile through one full period at a sequence of
+// resolutions and reports the observed order of accuracy. The deep,
+// heterogeneous 17-stage graph of the paper exists precisely to buy this
+// accuracy — the donor-cell pass alone is first order, each corrective pass
+// raises the order.
+//
+// Run with: go run ./examples/convergence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"islands/internal/mpdata"
+	"islands/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	resolutions := []int{32, 64, 128, 256}
+	const courant = 0.5
+
+	fmt.Printf("translation of a Gaussian through one period, Courant %.2f\n\n", courant)
+	for _, c := range []struct {
+		name string
+		o    mpdata.Options
+	}{
+		{"donor-cell upwind (IORD=1)", mpdata.Options{IORD: 1}},
+		{"MPDATA (IORD=2, non-oscillatory — the paper's 17 stages)", mpdata.DefaultOptions()},
+		{"MPDATA (IORD=2, unlimited, 11 stages)", mpdata.Options{IORD: 2}},
+		{"MPDATA (IORD=3, non-oscillatory, 30 stages)", mpdata.Options{IORD: 3, NonOscillatory: true}},
+	} {
+		pts, order, err := validate.TranslationStudy(c.o, resolutions, courant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(validate.Report(c.name, pts, order))
+		fmt.Println()
+	}
+	fmt.Println("the corrective passes raise the observed order from ~1 toward 2 and")
+	fmt.Println("beyond — the accuracy the islands-of-cores approach makes affordable")
+	fmt.Println("on SMP/NUMA machines by keeping all 17+ stages cache-resident and")
+	fmt.Println("socket-local.")
+}

@@ -1,0 +1,81 @@
+// Dynamicore runs a toy version of the EULAG dynamic core the paper situates
+// MPDATA in (§1): every time step advects a scalar with the 17-stage MPDATA
+// scheme and then solves an elliptic pressure equation with preconditioned
+// GCR — the two major components of the model, exercised together.
+//
+// The physics is deliberately minimal (a buoyancy-like forcing derived from
+// the advected scalar drives the Poisson solve); the point is the coupling
+// pattern: MPDATA's islands are embarrassingly parallel within a step, while
+// every GCR iteration needs global reductions — the contrast that makes the
+// two solvers' parallelizations different problems.
+//
+// Run with: go run ./examples/dynamicore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"islands/internal/gcr"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/sched"
+	"islands/internal/stencil"
+)
+
+func main() {
+	log.SetFlags(0)
+	domain := grid.Sz(48, 48, 16)
+	const steps = 20
+
+	// Advected scalar: a warm blob in solid-body rotation.
+	state := mpdata.NewState(domain)
+	state.SetGaussian(32, 24, 8, 4, 1, 0.1)
+	state.SetRotationVelocityZ(0.01)
+	solver, err := mpdata.NewSolver(state)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver.SetBoundary(stencil.Clamp)
+
+	// Pressure solver: preconditioned GCR(3) on the 7-point Laplacian,
+	// parallelized over two 4-core work teams; warm-started every step
+	// from the previous pressure.
+	sch := sched.NewSized(2, 4)
+	defer sch.Close()
+	pressure := grid.NewField("p", domain)
+	rhs := grid.NewField("rhs", domain)
+	psolver := gcr.NewSolver(domain, gcr.Laplacian(domain), gcr.Options{
+		K: 3, Tol: 1e-7, PrecondSweeps: 2, Scheduler: sch,
+	})
+
+	fmt.Printf("toy dynamic core on %v: MPDATA advection + GCR pressure solve per step\n\n", domain)
+	fmt.Printf("%-6s %-28s %-12s %-10s\n", "step", "scalar diagnostics", "GCR iters", "residual")
+	totalIters := 0
+	for s := 1; s <= steps; s++ {
+		solver.Step(1)
+
+		// Buoyancy-like forcing: vertical gradient of the scalar anomaly.
+		mean := state.Psi.Sum() / float64(domain.Cells())
+		rhs.FillFunc(func(i, j, k int) float64 {
+			up := state.Psi.At(i, j, stencil.ClampIdx(k+1, domain.NK))
+			dn := state.Psi.At(i, j, stencil.ClampIdx(k-1, domain.NK))
+			return (up - dn) / 2 * (state.Psi.At(i, j, k) - mean)
+		})
+		res, err := psolver.Solve(pressure, rhs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Converged {
+			log.Fatalf("pressure solve stalled at step %d: %+v", s, res)
+		}
+		totalIters += res.Iterations
+		if s%5 == 0 || s == 1 {
+			fmt.Printf("%-6d %-28s %-12d %.2e\n", s, mpdata.Diagnose(state.Psi).String(), res.Iterations, res.Residual)
+		}
+	}
+	fmt.Printf("\n%d pressure iterations over %d steps (warm starts keep later solves cheap)\n",
+		totalIters, steps)
+	fmt.Println("MPDATA kept the scalar positive and conservative; GCR held the")
+	fmt.Println("elliptic constraint — the per-step pattern of the EULAG dynamic core.")
+}

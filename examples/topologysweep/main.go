@@ -1,0 +1,81 @@
+// Topologysweep explores the paper's §4.1 claim from the other side: the
+// choice between scenario 1 (exchange halos, synchronize every stage — pure
+// (3+1)D across the machine) and scenario 2 (islands with redundant
+// computation) depends on the balance between compute speed and interconnect
+// quality. The sweep prices both strategies on synthetic fully-connected
+// machines whose link latency is varied across three orders of magnitude and
+// reports where the crossover falls.
+//
+// Run with: go run ./examples/topologysweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	domain := grid.Sz(512, 256, 32)
+	prog := &mpdata.NewProgram().Program
+	const p = 8
+	const steps = 10
+
+	fmt.Printf("MPDATA %v, %d steps, %d sockets, fully connected interconnect\n\n", domain, steps, p)
+	fmt.Printf("%-12s %-10s %12s %12s %10s\n", "link BW", "latency", "(3+1)D [s]", "islands [s]", "winner")
+
+	type point struct {
+		bw  float64
+		lat float64
+	}
+	sweep := []point{
+		// From an on-die-fast fabric down to a slow commodity network.
+		{200e9, 0.05e-6},
+		{100e9, 0.1e-6},
+		{50e9, 0.2e-6},
+		{13.4e9, 0.35e-6}, // NUMAlink 6 class (the UV 2000 setting)
+		{6.7e9, 0.7e-6},
+		{3e9, 1.5e-6},
+		{1e9, 5e-6},
+	}
+	var ratios []float64
+	for _, pt := range sweep {
+		m, err := topology.Symmetric(p, pt.bw, pt.lat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		price := func(s exec.Strategy) float64 {
+			r, err := exec.Model(exec.Config{
+				Machine: m, Strategy: s, Placement: grid.FirstTouchParallel, Steps: steps,
+			}, prog, domain)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r.TotalTime
+		}
+		blocked := price(exec.Plus31D)
+		isl := price(exec.IslandsOfCores)
+		winner := "islands"
+		if blocked < isl {
+			winner = "(3+1)D"
+		}
+		ratios = append(ratios, blocked/isl)
+		fmt.Printf("%-12s %-10s %12.3f %12.3f %10s\n",
+			fmt.Sprintf("%.1f GB/s", pt.bw/1e9),
+			fmt.Sprintf("%.2f us", pt.lat*1e6),
+			blocked, isl, winner)
+	}
+
+	fmt.Printf("\nreading: the islands' advantage grows from %.1fx on a cache-like fabric\n", ratios[0])
+	fmt.Printf("to %.1fx on a slow network — across sockets, replacing communication\n", ratios[len(ratios)-1])
+	fmt.Println("with redundant computation wins everywhere, and the margin widens as")
+	fmt.Println("the interconnect degrades. Scenario 1 (exchange + per-stage sync) only")
+	fmt.Println("pays off where transfers ride a shared cache — which is why the paper")
+	fmt.Println("keeps it *inside* each island and draws the island boundary exactly at")
+	fmt.Println("the socket boundary (§4.1).")
+}

@@ -1,0 +1,134 @@
+// Package advisor implements the paper's §6 program: "performance models
+// and methods for modeling and management of the correlation between
+// computation and communication costs ... The optimal trade-off between
+// computations and communications inside and between processors should be
+// determined on this basis."
+//
+// Given a machine, a stencil program and a domain, the advisor prices every
+// sensible configuration — original, pure (3+1)D, islands with 1D (A/B) and
+// all 2D mappings, and core-level sub-islands — on the machine model and
+// ranks them, explaining each candidate's cost structure.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"islands/internal/decomp"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// Candidate is one priced configuration.
+type Candidate struct {
+	// Name is a short human-readable label ("islands 7x2", ...).
+	Name   string
+	Config exec.Config
+	Result *exec.ModelResult
+}
+
+// Time returns the candidate's modeled execution time.
+func (c *Candidate) Time() float64 { return c.Result.TotalTime }
+
+// Rationale describes the candidate's cost structure in one line.
+func (c *Candidate) Rationale() string {
+	r := c.Result
+	switch c.Config.Strategy {
+	case exec.Original:
+		return fmt.Sprintf("memory-bound: %.1f GB of main-memory traffic, %.1f GB over NUMAlink",
+			r.MemTrafficBytes/1e9, r.RemoteTrafficBytes/1e9)
+	case exec.Plus31D:
+		return fmt.Sprintf("cache-blocked but machine-wide: per-stage sync and remote halo pulls dominate (%.1f GB NUMAlink)",
+			r.RemoteTrafficBytes/1e9)
+	default:
+		return fmt.Sprintf("independent islands: %.2f%% redundant elements, %.1f GB NUMAlink",
+			r.ExtraElementsPct, r.RemoteTrafficBytes/1e9)
+	}
+}
+
+// Advise prices all candidate configurations and returns them sorted by
+// modeled time (fastest first).
+func Advise(m *topology.Machine, prog *stencil.Program, domain grid.Size, steps int) ([]Candidate, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("advisor: steps must be positive")
+	}
+	var out []Candidate
+	add := func(name string, cfg exec.Config) error {
+		cfg.Machine = m
+		cfg.Placement = grid.FirstTouchParallel
+		cfg.Steps = steps
+		r, err := exec.Model(cfg, prog, domain)
+		if err != nil {
+			return fmt.Errorf("advisor: pricing %s: %w", name, err)
+		}
+		out = append(out, Candidate{Name: name, Config: cfg, Result: r})
+		return nil
+	}
+
+	if err := add("original", exec.Config{Strategy: exec.Original}); err != nil {
+		return nil, err
+	}
+	if err := add("(3+1)D", exec.Config{Strategy: exec.Plus31D}); err != nil {
+		return nil, err
+	}
+
+	p := m.NumNodes()
+	if p == 1 {
+		if err := add("islands", exec.Config{Strategy: exec.IslandsOfCores}); err != nil {
+			return nil, err
+		}
+	} else {
+		// 1D mappings; skip a variant whose dimension cannot host p parts.
+		if domain.NI >= p {
+			if err := add("islands 1D-A", exec.Config{Strategy: exec.IslandsOfCores, Variant: decomp.VariantA}); err != nil {
+				return nil, err
+			}
+		}
+		if domain.NJ >= p {
+			if err := add("islands 1D-B", exec.Config{Strategy: exec.IslandsOfCores, Variant: decomp.VariantB}); err != nil {
+				return nil, err
+			}
+		}
+		// Proper 2D factorizations.
+		for pi := 2; pi < p; pi++ {
+			if p%pi != 0 {
+				continue
+			}
+			pj := p / pi
+			if domain.NI < pi || domain.NJ < pj {
+				continue
+			}
+			if err := add(fmt.Sprintf("islands %dx%d", pi, pj),
+				exec.Config{Strategy: exec.IslandsOfCores, IslandGrid: [2]int{pi, pj}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Core-level sub-islands on the 1D-A mapping.
+	if domain.NI >= p {
+		if err := add("islands + core sub-islands", exec.Config{
+			Strategy: exec.IslandsOfCores, Variant: decomp.VariantA, CoreIslands: true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time() < out[j].Time() })
+	return out, nil
+}
+
+// Report renders the ranked candidates as text.
+func Report(cands []Candidate) string {
+	if len(cands) == 0 {
+		return "no feasible configuration\n"
+	}
+	s := fmt.Sprintf("recommended: %s (%.3f s)\n", cands[0].Name, cands[0].Time())
+	for i := range cands {
+		c := &cands[i]
+		s += fmt.Sprintf("  %2d. %-26s %9.3f s  %5.1fx  %s\n",
+			i+1, c.Name, c.Time(), cands[len(cands)-1].Time()/c.Time(), c.Rationale())
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+func advise(t *testing.T, p int, domain grid.Size) []Candidate {
+	t.Helper()
+	m, err := topology.UV2000(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	cands, err := Advise(m, prog, domain, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cands
+}
+
+func TestAdviseRanksIslandsFirstOnMultiSocket(t *testing.T) {
+	cands := advise(t, 8, grid.Sz(512, 256, 32))
+	if len(cands) < 4 {
+		t.Fatalf("expected several candidates, got %d", len(cands))
+	}
+	if cands[0].Config.Strategy != exec.IslandsOfCores {
+		t.Fatalf("recommended %s, want an islands configuration", cands[0].Name)
+	}
+	// Sorted ascending by time.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Time() < cands[i-1].Time() {
+			t.Fatalf("candidates not sorted: %v then %v", cands[i-1].Time(), cands[i].Time())
+		}
+	}
+	// The ranking must include the baselines.
+	names := map[string]bool{}
+	for i := range cands {
+		names[cands[i].Name] = true
+	}
+	for _, want := range []string{"original", "(3+1)D", "islands 1D-A", "islands 2x4", "islands 4x2"} {
+		if !names[want] {
+			t.Errorf("missing candidate %q in %v", want, names)
+		}
+	}
+}
+
+func TestAdviseSingleSocket(t *testing.T) {
+	cands := advise(t, 1, grid.Sz(256, 128, 16))
+	// On one socket the blocked strategies tie and beat the original
+	// (the paper's 3.37x).
+	if cands[0].Config.Strategy == exec.Original {
+		t.Fatalf("original must not win on one socket")
+	}
+	last := cands[len(cands)-1]
+	if last.Config.Strategy != exec.Original {
+		t.Fatalf("original must rank last on one socket, got %s", last.Name)
+	}
+}
+
+func TestAdviseSkipsInfeasibleMappings(t *testing.T) {
+	// A domain too thin in j for the 1D-B mapping at P=8.
+	cands := advise(t, 8, grid.Sz(512, 4, 16))
+	for i := range cands {
+		if cands[i].Name == "islands 1D-B" {
+			t.Fatal("1D-B must be skipped when NJ < P")
+		}
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	m := topology.SingleSocket()
+	prog := &mpdata.NewProgram().Program
+	if _, err := Advise(m, prog, grid.Sz(64, 64, 8), 0); err == nil {
+		t.Fatal("expected error for zero steps")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	cands := advise(t, 2, grid.Sz(128, 64, 16))
+	rep := Report(cands)
+	if !strings.Contains(rep, "recommended:") {
+		t.Fatalf("report missing recommendation:\n%s", rep)
+	}
+	if !strings.Contains(rep, "original") || !strings.Contains(rep, "(3+1)D") {
+		t.Fatalf("report missing candidates:\n%s", rep)
+	}
+	if Report(nil) != "no feasible configuration\n" {
+		t.Fatal("empty report wrong")
+	}
+}
+
+func TestRationaleMentionsCostStructure(t *testing.T) {
+	cands := advise(t, 4, grid.Sz(256, 128, 16))
+	for i := range cands {
+		c := &cands[i]
+		r := c.Rationale()
+		switch c.Config.Strategy {
+		case exec.Original:
+			if !strings.Contains(r, "memory-bound") {
+				t.Errorf("original rationale: %s", r)
+			}
+		case exec.Plus31D:
+			if !strings.Contains(r, "sync") {
+				t.Errorf("(3+1)D rationale: %s", r)
+			}
+		case exec.IslandsOfCores:
+			if !strings.Contains(r, "redundant") {
+				t.Errorf("islands rationale: %s", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package advisor_test
+
+import (
+	"fmt"
+
+	"islands/internal/advisor"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+// Example ranks the strategies for an 8-socket run: islands configurations
+// dominate, the machine-wide (3+1)D decomposition comes last.
+func Example() {
+	m, err := topology.UV2000(8)
+	if err != nil {
+		panic(err)
+	}
+	cands, err := advisor.Advise(m, &mpdata.NewProgram().Program, grid.Sz(512, 256, 32), 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best uses islands: %v\n", cands[0].Config.Strategy == exec.IslandsOfCores)
+	fmt.Printf("worst: %s\n", cands[len(cands)-1].Name)
+	// Output:
+	// best uses islands: true
+	// worst: (3+1)D
+}

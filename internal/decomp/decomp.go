@@ -1,0 +1,250 @@
+// Package decomp provides the domain decompositions of the paper: the 1D
+// partitioning of the MPDATA grid onto islands (variant A along i, variant B
+// along j), the 2D partitioning named as future work (§4.2), the cache-sized
+// block decomposition of the (3+1)D strategy, and the redundant
+// ("extra") element accounting of Table 2.
+package decomp
+
+import (
+	"fmt"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// Variant selects the dimension of the 1D island partitioning.
+type Variant int
+
+const (
+	// VariantA distributes the domain across its first (i) dimension.
+	VariantA Variant = iota
+	// VariantB distributes the domain across its second (j) dimension.
+	VariantB
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantA:
+		return "A"
+	case VariantB:
+		return "B"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// SplitRange divides [0,n) into p nearly equal contiguous spans; the first
+// n%p spans are one longer. It panics for non-positive p or n < p.
+func SplitRange(n, p int) [][2]int {
+	if p <= 0 {
+		panic("decomp: need at least one part")
+	}
+	if n < p {
+		panic(fmt.Sprintf("decomp: cannot split %d cells into %d parts", n, p))
+	}
+	out := make([][2]int, p)
+	base, rem := n/p, n%p
+	at := 0
+	for i := 0; i < p; i++ {
+		w := base
+		if i < rem {
+			w++
+		}
+		out[i] = [2]int{at, at + w}
+		at += w
+	}
+	return out
+}
+
+// Partition1D cuts the domain into p contiguous island parts along the
+// dimension selected by the variant.
+func Partition1D(domain grid.Size, p int, v Variant) []grid.Region {
+	whole := grid.WholeRegion(domain)
+	var spans [][2]int
+	switch v {
+	case VariantA:
+		spans = SplitRange(domain.NI, p)
+	case VariantB:
+		spans = SplitRange(domain.NJ, p)
+	default:
+		panic("decomp: unknown variant")
+	}
+	parts := make([]grid.Region, p)
+	for i, s := range spans {
+		r := whole
+		if v == VariantA {
+			r.I0, r.I1 = s[0], s[1]
+		} else {
+			r.J0, r.J1 = s[0], s[1]
+		}
+		parts[i] = r
+	}
+	return parts
+}
+
+// Partition2D cuts the domain into pi x pj parts over the first two
+// dimensions (the paper's future-work layout; the third dimension stays
+// whole because MPDATA's memory layout only transfers contiguously in i/j).
+func Partition2D(domain grid.Size, pi, pj int) []grid.Region {
+	si := SplitRange(domain.NI, pi)
+	sj := SplitRange(domain.NJ, pj)
+	parts := make([]grid.Region, 0, pi*pj)
+	for _, a := range si {
+		for _, b := range sj {
+			parts = append(parts, grid.Box(a[0], a[1], b[0], b[1], 0, domain.NK))
+		}
+	}
+	return parts
+}
+
+// ExtraElements sums the redundant cells all islands compute (scenario 2 of
+// Fig. 1) over every stage of the analyzed program, relative to computing
+// each stage exactly once over the domain.
+func ExtraElements(h *stencil.HaloAnalysis, domain grid.Size, parts []grid.Region) int64 {
+	var extra int64
+	for _, p := range parts {
+		extra += h.ExtraCells(p, domain)
+	}
+	return extra
+}
+
+// ExtraElementsPercent returns Table 2's quantity: redundant cells as a
+// percentage of the baseline stage-cell count.
+func ExtraElementsPercent(h *stencil.HaloAnalysis, domain grid.Size, parts []grid.Region) float64 {
+	return 100 * float64(ExtraElements(h, domain, parts)) / float64(h.TotalCells(domain))
+}
+
+// BlockSpec describes the (3+1)D cache-block decomposition: the grid part is
+// swept in slabs of BI columns so that all live intermediate arrays of one
+// slab fit in the last-level cache.
+type BlockSpec struct {
+	// BI is the block width along i.
+	BI int
+	// LiveArrays is the number of simultaneously resident full-slab
+	// arrays assumed when sizing the block.
+	LiveArrays int
+}
+
+// DefaultLiveArrays is the default cache-residency estimate for MPDATA: the
+// five inputs plus the widest set of live intermediates of the 17-stage
+// graph.
+const DefaultLiveArrays = 10
+
+// ChooseBlock sizes the (3+1)D block for a domain so that LiveArrays slabs
+// of BI x NJ x NK doubles fit in llcBytes, with BI at least 1. llc is the
+// aggregate cache available to the cores processing one block.
+func ChooseBlock(domain grid.Size, llcBytes int64, liveArrays int) BlockSpec {
+	if liveArrays <= 0 {
+		liveArrays = DefaultLiveArrays
+	}
+	perColumn := int64(domain.NJ) * int64(domain.NK) * grid.CellBytes * int64(liveArrays)
+	bi := int(llcBytes / perColumn)
+	if bi < 1 {
+		bi = 1
+	}
+	if bi > domain.NI {
+		bi = domain.NI
+	}
+	return BlockSpec{BI: bi, LiveArrays: liveArrays}
+}
+
+// BlocksAlongI cuts a region into consecutive slabs of at most bi columns.
+func BlocksAlongI(r grid.Region, bi int) []grid.Region {
+	if bi <= 0 {
+		panic("decomp: block width must be positive")
+	}
+	var out []grid.Region
+	for i := r.I0; i < r.I1; i += bi {
+		b := r
+		b.I0 = i
+		b.I1 = min(i+bi, r.I1)
+		out = append(out, b)
+	}
+	return out
+}
+
+// WavefrontSpans assigns one i-span of a stage to each (3+1)D block of an
+// island, implementing skewed (wavefront) tiling: within an island the
+// stage's frontier leads the output frontier by the stage's right halo lead
+// ihi, so consecutive blocks hand cached boundary columns forward instead of
+// recomputing them (the paper's scenario 1 inside an island). The spans tile
+// stageRegion exactly: stageRegion is the island's stage-s region from the
+// halo analysis, so redundant computation appears only in the island-boundary
+// trapezoids (scenario 2), never between blocks.
+//
+// blocks must be the island's consecutive i-slabs (BlocksAlongI output).
+func WavefrontSpans(stageRegion grid.Region, blocks []grid.Region, ihi int) []grid.Region {
+	out := make([]grid.Region, len(blocks))
+	lo := stageRegion.I0
+	for b, blk := range blocks {
+		hi := blk.I1 + ihi
+		if b == len(blocks)-1 || hi > stageRegion.I1 {
+			hi = stageRegion.I1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		span := stageRegion
+		span.I0, span.I1 = lo, hi
+		if span.Empty() {
+			span = grid.Region{}
+		}
+		out[b] = span
+		lo = hi
+	}
+	return out
+}
+
+// SplitDim divides a region into n parts along dim (0=i, 1=j, 2=k). Parts
+// whose share rounds to zero width are returned empty; callers treat empty
+// chunks as idle workers.
+func SplitDim(r grid.Region, dim, n int) []grid.Region {
+	if n <= 0 {
+		panic("decomp: need at least one chunk")
+	}
+	lo, hi := r.I0, r.I1
+	switch dim {
+	case 1:
+		lo, hi = r.J0, r.J1
+	case 2:
+		lo, hi = r.K0, r.K1
+	}
+	width := hi - lo
+	out := make([]grid.Region, n)
+	at := lo
+	for c := 0; c < n; c++ {
+		w := width / n
+		if c < width%n {
+			w++
+		}
+		part := r
+		switch dim {
+		case 0:
+			part.I0, part.I1 = at, at+w
+		case 1:
+			part.J0, part.J1 = at, at+w
+		case 2:
+			part.K0, part.K1 = at, at+w
+		}
+		at += w
+		if w == 0 {
+			part = grid.Region{}
+		}
+		out[c] = part
+	}
+	return out
+}
+
+// LongestDim returns the dimension (0, 1 or 2) with the most cells in r,
+// preferring j then k then i on ties — chunking along j keeps k-contiguous
+// runs intact, which is what MPDATA work teams do.
+func LongestDim(r grid.Region) int {
+	di, dj, dk := r.I1-r.I0, r.J1-r.J0, r.K1-r.K0
+	if dj >= dk && dj >= di {
+		return 1
+	}
+	if dk >= di {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,256 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+)
+
+func TestSplitRange(t *testing.T) {
+	spans := SplitRange(10, 3)
+	want := [][2]int{{0, 4}, {4, 7}, {7, 10}}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("spans = %v, want %v", spans, want)
+		}
+	}
+}
+
+func TestSplitRangePanics(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{10, 0}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitRange(%d,%d): expected panic", c.n, c.p)
+				}
+			}()
+			SplitRange(c.n, c.p)
+		}()
+	}
+}
+
+// TestSplitRangeProperties: spans tile [0,n) exactly and widths differ by at
+// most one.
+func TestSplitRangeProperties(t *testing.T) {
+	f := func(n16, p8 uint8) bool {
+		p := int(p8%14) + 1
+		n := p + int(n16)
+		spans := SplitRange(n, p)
+		at := 0
+		wMin, wMax := n+1, -1
+		for _, s := range spans {
+			if s[0] != at {
+				return false
+			}
+			w := s[1] - s[0]
+			if w < wMin {
+				wMin = w
+			}
+			if w > wMax {
+				wMax = w
+			}
+			at = s[1]
+		}
+		return at == n && wMax-wMin <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartition1DVariants(t *testing.T) {
+	domain := grid.Sz(16, 8, 4)
+	pa := Partition1D(domain, 4, VariantA)
+	for idx, p := range pa {
+		if p.J0 != 0 || p.J1 != 8 || p.K0 != 0 || p.K1 != 4 {
+			t.Fatalf("variant A part %d cuts j/k: %v", idx, p)
+		}
+		if p.I1-p.I0 != 4 {
+			t.Fatalf("variant A part %d width %d, want 4", idx, p.I1-p.I0)
+		}
+	}
+	pb := Partition1D(domain, 2, VariantB)
+	if pb[0].J1 != 4 || pb[1].J0 != 4 {
+		t.Fatalf("variant B parts wrong: %v", pb)
+	}
+}
+
+// TestPartitionCoversDisjoint: parts tile the domain without overlap, for
+// both variants and for 2D.
+func TestPartitionCoversDisjoint(t *testing.T) {
+	domain := grid.Sz(20, 12, 4)
+	check := func(parts []grid.Region) {
+		t.Helper()
+		total := 0
+		for i, a := range parts {
+			total += a.Cells()
+			for j, b := range parts {
+				if i != j && !a.Intersect(b).Empty() {
+					t.Fatalf("parts %d and %d overlap: %v %v", i, j, a, b)
+				}
+			}
+		}
+		if total != domain.Cells() {
+			t.Fatalf("parts cover %d cells, want %d", total, domain.Cells())
+		}
+	}
+	check(Partition1D(domain, 5, VariantA))
+	check(Partition1D(domain, 3, VariantB))
+	check(Partition2D(domain, 4, 3))
+}
+
+func TestExtraElementsFig1(t *testing.T) {
+	prog := &stencil.Fig1Program().Program
+	h, err := stencil.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := grid.Sz(100, 1, 1)
+	// One island: no redundancy at physical boundaries.
+	if got := ExtraElements(h, domain, Partition1D(domain, 1, VariantA)); got != 0 {
+		t.Fatalf("P=1 extra = %d, want 0", got)
+	}
+	// Two islands: one interior boundary. Left island grows right (B: +0,
+	// A: +1, in edge... stage halos: B[-1,0], A[-2,+1]): left part gains
+	// A:+1 = 1; right part gains B:1, A:2 = 3. Total 4.
+	if got := ExtraElements(h, domain, Partition1D(domain, 2, VariantA)); got != 4 {
+		t.Fatalf("P=2 extra = %d, want 4", got)
+	}
+}
+
+// TestExtraElementsMPDATALinear reproduces the structure of Table 2: the
+// redundancy grows linearly with the number of interior boundaries, and
+// variant B costs about twice variant A for the paper's 1024x512x64 grid
+// (equal halo widths in i and j, but the j extent is half the i extent).
+func TestExtraElementsMPDATALinear(t *testing.T) {
+	prog := mpdata.NewProgram()
+	h, err := stencil.Analyze(&prog.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scaled-down grid with the paper's 2:1 i:j aspect.
+	domain := grid.Sz(256, 128, 16)
+	perBoundaryA := ExtraElementsPercent(h, domain, Partition1D(domain, 2, VariantA))
+	perBoundaryB := ExtraElementsPercent(h, domain, Partition1D(domain, 2, VariantB))
+	if ratio := perBoundaryB / perBoundaryA; math.Abs(ratio-2) > 0.05 {
+		t.Fatalf("variant B/A ratio = %.3f, want ~2", ratio)
+	}
+	// Linearity in the number of boundaries (interior islands all alike).
+	for p := 3; p <= 8; p++ {
+		got := ExtraElementsPercent(h, domain, Partition1D(domain, p, VariantA))
+		want := perBoundaryA * float64(p-1)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Fatalf("P=%d: extra %.4f%%, want ~%.4f%%", p, got, want)
+		}
+	}
+}
+
+func TestChooseBlock(t *testing.T) {
+	domain := grid.Sz(1024, 512, 64)
+	spec := ChooseBlock(domain, 16<<20, 10)
+	// 16 MiB / (512*64*8B*10) = 6.4 -> 6 columns.
+	if spec.BI != 6 {
+		t.Fatalf("BI = %d, want 6", spec.BI)
+	}
+	// Tiny cache: at least one column.
+	if got := ChooseBlock(domain, 1024, 10); got.BI != 1 {
+		t.Fatalf("tiny-cache BI = %d, want 1", got.BI)
+	}
+	// Huge cache: capped at the domain.
+	if got := ChooseBlock(grid.Sz(8, 4, 4), 1<<30, 10); got.BI != 8 {
+		t.Fatalf("huge-cache BI = %d, want 8", got.BI)
+	}
+	// Default live arrays.
+	if got := ChooseBlock(domain, 16<<20, 0); got.LiveArrays != DefaultLiveArrays {
+		t.Fatalf("LiveArrays = %d, want %d", got.LiveArrays, DefaultLiveArrays)
+	}
+}
+
+func TestBlocksAlongI(t *testing.T) {
+	r := grid.Box(10, 31, 0, 4, 0, 4)
+	blocks := BlocksAlongI(r, 8)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	if blocks[0].I0 != 10 || blocks[0].I1 != 18 || blocks[2].I1 != 31 {
+		t.Fatalf("block bounds wrong: %v", blocks)
+	}
+	total := 0
+	for _, b := range blocks {
+		total += b.Cells()
+	}
+	if total != r.Cells() {
+		t.Fatalf("blocks cover %d, want %d", total, r.Cells())
+	}
+}
+
+func TestSplitDim(t *testing.T) {
+	r := grid.Box(0, 4, 0, 10, 0, 2)
+	chunks := SplitDim(r, 1, 3)
+	if chunks[0].J1-chunks[0].J0 != 4 || chunks[1].J1-chunks[1].J0 != 3 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+	total := 0
+	for _, c := range chunks {
+		total += c.Cells()
+	}
+	if total != r.Cells() {
+		t.Fatalf("chunks cover %d, want %d", total, r.Cells())
+	}
+	// More chunks than width: the excess are empty.
+	over := SplitDim(grid.Box(0, 2, 0, 2, 0, 1), 1, 5)
+	nonEmpty := 0
+	for _, c := range over {
+		if !c.Empty() {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("non-empty chunks = %d, want 2", nonEmpty)
+	}
+}
+
+func TestSplitDimAllDims(t *testing.T) {
+	r := grid.Box(0, 6, 0, 6, 0, 6)
+	for dim := 0; dim < 3; dim++ {
+		chunks := SplitDim(r, dim, 2)
+		total := 0
+		for i, a := range chunks {
+			total += a.Cells()
+			for j, b := range chunks {
+				if i != j && !a.Intersect(b).Empty() {
+					t.Fatalf("dim %d: chunks overlap", dim)
+				}
+			}
+		}
+		if total != r.Cells() {
+			t.Fatalf("dim %d: cover %d, want %d", dim, total, r.Cells())
+		}
+	}
+}
+
+func TestLongestDim(t *testing.T) {
+	if got := LongestDim(grid.Box(0, 10, 0, 5, 0, 5)); got != 0 {
+		t.Fatalf("LongestDim = %d, want 0", got)
+	}
+	if got := LongestDim(grid.Box(0, 5, 0, 10, 0, 5)); got != 1 {
+		t.Fatalf("LongestDim = %d, want 1", got)
+	}
+	if got := LongestDim(grid.Box(0, 5, 0, 5, 0, 10)); got != 2 {
+		t.Fatalf("LongestDim = %d, want 2", got)
+	}
+	// Ties prefer j.
+	if got := LongestDim(grid.Box(0, 5, 0, 5, 0, 5)); got != 1 {
+		t.Fatalf("tie LongestDim = %d, want 1", got)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantA.String() != "A" || VariantB.String() != "B" {
+		t.Fatal("variant names wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"islands/internal/grid"
+)
+
+func TestWavefrontSpansBasic(t *testing.T) {
+	// Island [0,24) in blocks of 8; stage needed on [-2, 27) with a right
+	// halo lead of 3.
+	blocks := BlocksAlongI(grid.Box(0, 24, 0, 4, 0, 4), 8)
+	stageRegion := grid.Box(-2, 27, 0, 4, 0, 4)
+	spans := WavefrontSpans(stageRegion, blocks, 3)
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	// Block 0 covers [-2, 8+3); block 1 [11, 19); block 2 rest [19, 27).
+	if spans[0].I0 != -2 || spans[0].I1 != 11 {
+		t.Fatalf("span 0 = %v", spans[0])
+	}
+	if spans[1].I0 != 11 || spans[1].I1 != 19 {
+		t.Fatalf("span 1 = %v", spans[1])
+	}
+	if spans[2].I0 != 19 || spans[2].I1 != 27 {
+		t.Fatalf("span 2 = %v", spans[2])
+	}
+}
+
+// TestWavefrontSpansTile: the spans always tile the stage region exactly —
+// no redundancy between blocks (scenario 1 inside an island), no gaps.
+func TestWavefrontSpansTile(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		islandW := 4 + r.Intn(60)
+		bi := 1 + r.Intn(10)
+		ihi := r.Intn(6)
+		lo := -r.Intn(5)
+		hi := islandW + r.Intn(5)
+		island := grid.Box(0, islandW, 0, 4, 0, 2)
+		stageRegion := grid.Box(lo, hi, 0, 4, 0, 2)
+		blocks := BlocksAlongI(island, bi)
+		spans := WavefrontSpans(stageRegion, blocks, ihi)
+		if len(spans) != len(blocks) {
+			return false
+		}
+		at := stageRegion.I0
+		cells := 0
+		for _, s := range spans {
+			if s.Empty() {
+				continue
+			}
+			if s.I0 != at {
+				return false
+			}
+			at = s.I1
+			cells += s.Cells()
+		}
+		return at == stageRegion.I1 && cells == stageRegion.Cells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWavefrontSpansZeroLead(t *testing.T) {
+	// With zero halo lead, spans coincide with the blocks.
+	island := grid.Box(0, 20, 0, 2, 0, 2)
+	blocks := BlocksAlongI(island, 5)
+	spans := WavefrontSpans(island, blocks, 0)
+	for b := range blocks {
+		if !spans[b].Equal(blocks[b]) {
+			t.Fatalf("span %d = %v, want %v", b, spans[b], blocks[b])
+		}
+	}
+}
+
+func TestWavefrontSpansLargeLead(t *testing.T) {
+	// A lead exceeding the region: early blocks take everything, later
+	// blocks are empty.
+	island := grid.Box(0, 12, 0, 2, 0, 2)
+	blocks := BlocksAlongI(island, 4)
+	spans := WavefrontSpans(island, blocks, 100)
+	if spans[0].I0 != 0 || spans[0].I1 != 12 {
+		t.Fatalf("span 0 = %v, want whole region", spans[0])
+	}
+	for b := 1; b < len(spans); b++ {
+		if !spans[b].Empty() {
+			t.Fatalf("span %d = %v, want empty", b, spans[b])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+// TestAffinityValidation exercises the NodeOrder permutation checks.
+func TestAffinityValidation(t *testing.T) {
+	m, _ := topology.UV2000(4)
+	base := Config{Machine: m, Strategy: IslandsOfCores, Steps: 1}
+	cases := []struct {
+		order []int
+		want  string
+	}{
+		{[]int{0, 1, 2}, "entries"},
+		{[]int{0, 1, 2, 2}, "permutation"},
+		{[]int{0, 1, 2, 4}, "permutation"},
+	}
+	for _, c := range cases {
+		cfg := base
+		cfg.NodeOrder = c.order
+		if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("order %v: err = %v, want %q", c.order, err, c.want)
+		}
+	}
+	good := base
+	good.NodeOrder = []int{3, 1, 0, 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid permutation rejected: %v", err)
+	}
+	bad := Config{Machine: m, Strategy: Plus31D, Steps: 1, NodeOrder: []int{0, 1, 2, 3}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NodeOrder must require islands strategy")
+	}
+}
+
+// TestAffinityAdjacency reproduces the paper's §4.2 claim on a cluster:
+// assigning neighbour parts to adjacent processors beats a scattered
+// placement, because the input halos then stay inside an IRU instead of
+// crossing the InfiniBand rails every step.
+func TestAffinityAdjacency(t *testing.T) {
+	m, err := topology.ClusterOfUV(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	domain := grid.Sz(512, 256, 32)
+	price := func(order []int) *ModelResult {
+		r, err := Model(Config{
+			Machine: m, Strategy: IslandsOfCores,
+			Placement: grid.FirstTouchParallel, Steps: 10, NodeOrder: order,
+		}, prog, domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	adjacent := price(nil) // identity: islands 0-3 on IRU 0, 4-7 on IRU 1
+	// Scattered: consecutive islands alternate IRUs, so every halo
+	// crosses the external network.
+	scattered := price([]int{0, 4, 1, 5, 2, 6, 3, 7})
+	if scattered.TotalTime <= adjacent.TotalTime {
+		t.Fatalf("scattered affinity (%.4fs) must lose to adjacent (%.4fs)",
+			scattered.TotalTime, adjacent.TotalTime)
+	}
+	// The mechanism is the remote halo traffic crossing more links.
+	if scattered.RemoteTrafficBytes <= adjacent.RemoteTrafficBytes {
+		t.Fatalf("scattered remote traffic (%.3g) must exceed adjacent (%.3g)",
+			scattered.RemoteTrafficBytes, adjacent.RemoteTrafficBytes)
+	}
+}
+
+// TestAffinityIrrelevantWithinUV: inside one UV IRU the hub topology makes
+// all placements near-equivalent — the effect only matters when link costs
+// are heterogeneous.
+func TestAffinityNearlyIrrelevantWithinIRU(t *testing.T) {
+	m, err := topology.UV2000(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	domain := grid.Sz(512, 256, 32)
+	price := func(order []int) float64 {
+		r, err := Model(Config{
+			Machine: m, Strategy: IslandsOfCores,
+			Placement: grid.FirstTouchParallel, Steps: 10, NodeOrder: order,
+		}, prog, domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalTime
+	}
+	adjacent := price(nil)
+	scattered := price([]int{0, 4, 1, 5, 2, 6, 3, 7})
+	if ratio := scattered / adjacent; ratio > 1.10 {
+		t.Fatalf("within one IRU the affinity penalty should be small, got %.2fx", ratio)
+	}
+}

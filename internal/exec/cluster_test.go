@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// TestClusterIslandsScale: the islands strategy keeps scaling across IRUs
+// joined by a slow external network, while the machine-wide (3+1)D strategy
+// collapses — the contrast §6 of the paper anticipates.
+func TestClusterStrategies(t *testing.T) {
+	prog := &mpdata.NewProgram().Program
+	domain := grid.Sz(1024, 256, 32)
+	const steps = 5
+
+	price := func(m *topology.Machine, s Strategy) float64 {
+		r, err := Model(Config{
+			Machine: m, Strategy: s, Placement: grid.FirstTouchParallel, Steps: steps,
+		}, prog, domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalTime
+	}
+
+	one, err := topology.ClusterOfUV(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := topology.ClusterOfUV(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	isl1, isl2 := price(one, IslandsOfCores), price(two, IslandsOfCores)
+	if speedup := isl1 / isl2; speedup < 1.5 {
+		t.Errorf("islands across 2 IRUs speed up only %.2fx", speedup)
+	}
+	blocked2 := price(two, Plus31D)
+	if blocked2 < 3*isl2 {
+		t.Errorf("machine-wide (3+1)D (%.3fs) should collapse vs islands (%.3fs) across IRUs",
+			blocked2, isl2)
+	}
+}
+
+// TestClusterComputeMatchesReference: the compute backend works on cluster
+// machines too (islands are machine-agnostic).
+func TestClusterComputeMatchesReference(t *testing.T) {
+	domain := grid.Sz(24, 18, 8)
+	const steps = 2
+	_, want := referenceMPDATA(domain, steps)
+	m, err := topology.ClusterOfUV(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runStrategy(t, Config{
+		Machine: m, Strategy: IslandsOfCores, Boundary: stencil.Clamp,
+		Steps: steps, BlockI: 4,
+	}, domain)
+	if d := grid.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("cluster islands diverge by %g", d)
+	}
+}

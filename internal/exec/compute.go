@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"fmt"
+
+	"islands/internal/decomp"
+	"islands/internal/grid"
+	"islands/internal/sched"
+	"islands/internal/stencil"
+)
+
+// Runner executes a kernel program with the configured strategy on real
+// goroutine work teams. It is the compute backend: every strategy produces
+// bit-identical results (verified by tests against the sequential reference),
+// differing only in how work is ordered and which cores own it — the
+// properties the model backend prices.
+type Runner struct {
+	plan     *plan
+	prog     *stencil.KernelProgram
+	sch      *sched.Scheduler
+	inputs   map[string]*grid.Field
+	feedback string
+	// envs holds one execution environment per island (a single shared
+	// one for Original and Plus31D). Island environments own private
+	// stage arrays — the islands' independence is structural, not just
+	// scheduled.
+	envs []*stencil.Env
+	// workerEnvs holds per-core environments when core-level sub-islands
+	// are enabled: each worker's intermediates are private, mirroring the
+	// per-core cache partitions the sub-islands represent.
+	workerEnvs [][]*stencil.Env
+	// OnStepEnd, when set, is invoked after every completed time step
+	// (outside any parallel region, with all outputs published). Hooks
+	// may mutate the step inputs — e.g. update time-dependent velocity
+	// fields — or record diagnostics.
+	OnStepEnd func(step int)
+}
+
+// NewRunner prepares an execution. The feedback name selects the step input
+// that receives the program output after every step (psi for MPDATA).
+func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.Field, feedback string) (*Runner, error) {
+	fb, ok := inputs[feedback]
+	if !ok {
+		return nil, fmt.Errorf("exec: feedback input %q not provided", feedback)
+	}
+	p, err := newPlan(cfg, &prog.Program, fb.Size)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		plan:     p,
+		prog:     prog,
+		sch:      sched.New(cfg.Machine),
+		inputs:   inputs,
+		feedback: feedback,
+	}
+	if cfg.CoreIslands {
+		for i := range p.parts {
+			var envs []*stencil.Env
+			for w := 0; w < cfg.Machine.Nodes[i].Cores; w++ {
+				env, err := stencil.NewEnv(&prog.Program, fb.Size, inputs)
+				if err != nil {
+					r.Close()
+					return nil, err
+				}
+				env.BC = cfg.Boundary
+				envs = append(envs, env)
+			}
+			r.workerEnvs = append(r.workerEnvs, envs)
+		}
+		return r, nil
+	}
+	for range p.parts {
+		env, err := stencil.NewEnv(&prog.Program, fb.Size, inputs)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		env.BC = cfg.Boundary
+		r.envs = append(r.envs, env)
+	}
+	return r, nil
+}
+
+// Close releases the runner's work teams.
+func (r *Runner) Close() { r.sch.Close() }
+
+// Plan exposes the execution geometry (islands, blocks, spans) for
+// inspection by tests and reports.
+func (r *Runner) Plan() *PlanInfo {
+	return &PlanInfo{
+		Parts:  r.plan.parts,
+		Blocks: r.plan.blocks,
+	}
+}
+
+// PlanInfo is the externally visible execution geometry.
+type PlanInfo struct {
+	Parts  []grid.Region
+	Blocks [][]grid.Region
+}
+
+// Run advances the program by the configured number of steps.
+func (r *Runner) Run() error {
+	for step := 0; step < r.plan.cfg.Steps; step++ {
+		switch r.plan.cfg.Strategy {
+		case Original:
+			r.stepOriginal()
+		case Plus31D:
+			r.stepPlus31D()
+		case IslandsOfCores:
+			if r.plan.cfg.CoreIslands {
+				r.stepIslandsCore()
+			} else {
+				r.stepIslands()
+			}
+		}
+		if r.OnStepEnd != nil {
+			r.OnStepEnd(step)
+		}
+	}
+	return nil
+}
+
+// stepOriginal: every stage sweeps the whole domain, all cores cooperating;
+// the dispatch joins between stages are the per-stage synchronization points
+// of scenario 1.
+func (r *Runner) stepOriginal() {
+	env := r.envs[0]
+	cores := r.sch.TotalCores()
+	for s, kern := range r.prog.Kernels {
+		span := r.plan.spans[0][s][0]
+		chunks := decomp.SplitDim(span, 0, cores)
+		kern := kern
+		r.sch.RunAll(func(team, worker int) {
+			c := r.coreIndex(team, worker)
+			if !chunks[c].Empty() {
+				kern(env, chunks[c])
+			}
+		})
+	}
+	r.copyFeedbackAll(env)
+}
+
+// stepPlus31D: cache-sized blocks processed one after another; within a
+// block, every stage is chunked across all cores of the machine with a
+// machine-wide join per stage.
+func (r *Runner) stepPlus31D() {
+	env := r.envs[0]
+	cores := r.sch.TotalCores()
+	for b := range r.plan.blocks[0] {
+		for s, kern := range r.prog.Kernels {
+			span := r.plan.spans[0][s][b]
+			if span.Empty() {
+				continue
+			}
+			chunks := decomp.SplitDim(span, 1, cores)
+			kern := kern
+			r.sch.RunAll(func(team, worker int) {
+				c := r.coreIndex(team, worker)
+				if !chunks[c].Empty() {
+					kern(env, chunks[c])
+				}
+			})
+		}
+	}
+	r.copyFeedbackAll(env)
+}
+
+// stepIslandsCore: core-level sub-islands (paper §6 future work). Every
+// worker of every team is its own island: it sweeps all blocks and all
+// stages over its private j-trapezoids without any synchronization until
+// the end-of-step join — the logical limit of the islands idea.
+func (r *Runner) stepIslandsCore() {
+	r.sch.RunTeams(func(t *sched.Team) {
+		subs := decomp.SplitDim(r.plan.parts[t.ID], 1, t.Size())
+		t.Run(func(worker int) {
+			env := r.workerEnvs[t.ID][worker]
+			for b := range r.plan.blocks[t.ID] {
+				for s, kern := range r.prog.Kernels {
+					reg := r.plan.workerRegion(t.ID, s, b, subs[worker])
+					if !reg.Empty() {
+						kern(env, reg)
+					}
+				}
+			}
+		})
+	})
+	out := r.inputs[r.feedback]
+	r.sch.RunTeams(func(t *sched.Team) {
+		subs := decomp.SplitDim(r.plan.parts[t.ID], 1, t.Size())
+		t.Run(func(worker int) {
+			if !subs[worker].Empty() {
+				src := r.workerEnvs[t.ID][worker].Field(r.prog.Output)
+				grid.CopyRegion(out, src, subs[worker])
+			}
+		})
+	})
+}
+
+// stepIslands: every island (work team) processes its own part with private
+// intermediates, computing the boundary trapezoids redundantly; the teams
+// join once per step, then publish their outputs.
+func (r *Runner) stepIslands() {
+	r.sch.RunTeams(func(t *sched.Team) {
+		env := r.envs[t.ID]
+		for b := range r.plan.blocks[t.ID] {
+			for s, kern := range r.prog.Kernels {
+				span := r.plan.spans[t.ID][s][b]
+				if span.Empty() {
+					continue
+				}
+				chunks := decomp.SplitDim(span, 1, t.Size())
+				kern := kern
+				t.Run(func(worker int) {
+					if !chunks[worker].Empty() {
+						kern(env, chunks[worker])
+					}
+				})
+			}
+		}
+	})
+	// Global synchronization happened at the join above; now every island
+	// publishes its exact part of the output (no overlap).
+	out := r.inputs[r.feedback]
+	r.sch.RunTeams(func(t *sched.Team) {
+		src := r.envs[t.ID].Field(r.prog.Output)
+		part := r.plan.parts[t.ID]
+		chunks := decomp.SplitDim(part, 1, t.Size())
+		t.Run(func(worker int) {
+			grid.CopyRegion(out, src, chunks[worker])
+		})
+	})
+}
+
+// copyFeedbackAll copies the program output into the feedback input with all
+// cores, chunked along i (the dimension of the first-touch ownership).
+func (r *Runner) copyFeedbackAll(env *stencil.Env) {
+	out := r.inputs[r.feedback]
+	src := env.Field(r.prog.Output)
+	chunks := decomp.SplitDim(grid.WholeRegion(r.plan.domain), 0, r.sch.TotalCores())
+	r.sch.RunAll(func(team, worker int) {
+		grid.CopyRegion(out, src, chunks[r.coreIndex(team, worker)])
+	})
+}
+
+// coreIndex maps (team, worker) to a global core index.
+func (r *Runner) coreIndex(team, worker int) int {
+	return r.sch.Teams[team].Cores[worker]
+}

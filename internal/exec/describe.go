@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// DescribePlan renders the execution geometry of a configuration: the island
+// partition, the (3+1)D block decomposition, and the redundancy each island
+// takes on — what the paper's scheduler decides before the first time step.
+func DescribePlan(cfg Config, prog *stencil.Program, domain grid.Size) (string, error) {
+	p, err := newPlan(cfg, prog, domain)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %v on %s, domain %v, %d steps\n",
+		cfg.Strategy, cfg.Machine.Name, domain, cfg.Steps)
+	switch cfg.Strategy {
+	case Original:
+		fmt.Fprintf(&b, "  no blocking: %d stages sweep the whole domain, %d cores each\n",
+			len(prog.Stages), cfg.Machine.TotalCores())
+	case Plus31D:
+		blocks := p.blocks[0]
+		fmt.Fprintf(&b, "  %d cache blocks of %d i-columns, all %d cores per block, %d stage barriers per step\n",
+			len(blocks), blocks[0].I1-blocks[0].I0, cfg.Machine.TotalCores(), len(prog.Stages)*len(blocks))
+	case IslandsOfCores:
+		totalExtra := int64(0)
+		for i, part := range p.parts {
+			var extra int64
+			for s := range prog.Stages {
+				cells := p.islandCells(i, s)
+				if cfg.CoreIslands {
+					cells = p.coreIslandCells(i, s, cfg.Machine.Nodes[i].Cores)
+				}
+				extra += cells - int64(part.Cells())
+			}
+			totalExtra += extra
+			fmt.Fprintf(&b, "  island %2d on node %2d: part %v, %d blocks, %d redundant cells/step\n",
+				i, cfg.nodeOf(i), part, len(p.blocks[i]), extra)
+		}
+		pct := 100 * float64(totalExtra) / (float64(len(prog.Stages)) * float64(domain.Cells()))
+		fmt.Fprintf(&b, "  total redundancy: %.2f%% of baseline stage cells", pct)
+		if cfg.CoreIslands {
+			fmt.Fprintf(&b, " (including per-core sub-island trapezoids)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+func TestDescribePlanIslands(t *testing.T) {
+	m, err := topology.UV2000(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	out, err := DescribePlan(Config{
+		Machine: m, Strategy: IslandsOfCores, Steps: 5, BlockI: 8,
+	}, prog, grid.Sz(96, 48, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"island  0 on node  0", "island  2 on node  2", "4 blocks", "total redundancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribePlanOtherStrategies(t *testing.T) {
+	m := topology.SingleSocket()
+	prog := &mpdata.NewProgram().Program
+	domain := grid.Sz(64, 32, 8)
+	orig, err := DescribePlan(Config{Machine: m, Strategy: Original, Steps: 1}, prog, domain)
+	if err != nil || !strings.Contains(orig, "no blocking") {
+		t.Fatalf("original describe: %v\n%s", err, orig)
+	}
+	blocked, err := DescribePlan(Config{Machine: m, Strategy: Plus31D, Steps: 1, BlockI: 8}, prog, domain)
+	if err != nil || !strings.Contains(blocked, "cache blocks") {
+		t.Fatalf("blocked describe: %v\n%s", err, blocked)
+	}
+	if _, err := DescribePlan(Config{Machine: m, Steps: 0}, prog, domain); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDescribePlanCoreIslands(t *testing.T) {
+	m, _ := topology.UV2000(2)
+	prog := &mpdata.NewProgram().Program
+	out, err := DescribePlan(Config{
+		Machine: m, Strategy: IslandsOfCores, Steps: 1, BlockI: 8, CoreIslands: true,
+	}, prog, grid.Sz(64, 48, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sub-island trapezoids") {
+		t.Fatalf("core-islands describe missing marker:\n%s", out)
+	}
+}

@@ -1,0 +1,295 @@
+// Package exec implements the paper's three execution strategies for
+// heterogeneous stencil programs — the original stage-by-stage version, the
+// pure (3+1)D decomposition, and the islands-of-cores approach — with two
+// interchangeable backends: a compute backend that performs the real
+// numerical work on goroutine work teams (internal/sched), and a model
+// backend that emits resource flows into the machine simulator
+// (internal/simmach) to estimate execution time on the simulated SMP/NUMA
+// platform.
+package exec
+
+import (
+	"fmt"
+
+	"islands/internal/decomp"
+	"islands/internal/grid"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// Strategy selects the execution strategy.
+type Strategy int
+
+const (
+	// Original runs each stage over the whole domain with all cores,
+	// spilling every intermediate array to main memory.
+	Original Strategy = iota
+	// Plus31D is the pure (3+1)D decomposition: all cores cooperate on
+	// one cache-sized block at a time through all stages.
+	Plus31D
+	// IslandsOfCores partitions the domain across islands (one per NUMA
+	// node); each island runs (3+1)D internally and computes redundant
+	// boundary trapezoids instead of communicating (scenario 2).
+	IslandsOfCores
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Original:
+		return "original"
+	case Plus31D:
+		return "(3+1)D"
+	case IslandsOfCores:
+		return "islands-of-cores"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config describes one execution of a stencil program.
+type Config struct {
+	Machine  *topology.Machine
+	Strategy Strategy
+	// Placement is the NUMA page placement of the program's arrays.
+	Placement grid.PlacementPolicy
+	// Variant selects the island partitioning dimension (1D variant A/B).
+	Variant decomp.Variant
+	// IslandGrid, when non-zero, selects the 2D island partitioning the
+	// paper names as future work (§4.2): the domain is cut into
+	// IslandGrid[0] x IslandGrid[1] parts over the first two dimensions.
+	// The product must equal the machine's node count. Zero means the 1D
+	// partitioning selected by Variant.
+	IslandGrid [2]int
+	// LiveArrays sizes the (3+1)D cache blocks (0 = default).
+	LiveArrays int
+	// BlockI overrides the computed (3+1)D block width (0 = derive from
+	// the node's LLC capacity). Tests use it to force multi-block runs
+	// on small grids.
+	BlockI int
+	// Boundary is the domain boundary condition for the compute backend.
+	Boundary stencil.Boundary
+	// Steps is the number of time steps.
+	Steps int
+	// CoreIslands applies the islands idea inside each island (the
+	// paper's §6 future work): every core of a work team becomes a
+	// sub-island that computes its own j-trapezoids redundantly instead
+	// of exchanging intra-socket halos, eliminating the per-stage team
+	// synchronization within each block. Only meaningful with
+	// IslandsOfCores.
+	CoreIslands bool
+	// ModelParams overrides the machine-model constants for sensitivity
+	// studies (nil = the calibrated defaults of params.go).
+	ModelParams *Params
+	// NodeOrder maps island index -> NUMA node, implementing the paper's
+	// §4.2 affinity requirement: "all the neighbour parts should be
+	// assigned to the adjacent processors ... by controlling the OpenMP
+	// Thread Affinity interface". Nil means the identity mapping (island
+	// i on node i — the adjacency-preserving assignment on the UV's
+	// linear blade layout). A permutation models a scattered affinity.
+	NodeOrder []int
+}
+
+// params resolves the model constants for this plan.
+func (p *plan) params() Params {
+	if p.cfg.ModelParams != nil {
+		return *p.cfg.ModelParams
+	}
+	return DefaultParams()
+}
+
+// nodeOf returns the NUMA node hosting island i under the configured order.
+func (c *Config) nodeOf(island int) int {
+	if c.NodeOrder == nil {
+		return island
+	}
+	return c.NodeOrder[island]
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Machine == nil {
+		return fmt.Errorf("exec: config needs a machine")
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("exec: steps must be positive, got %d", c.Steps)
+	}
+	switch c.Strategy {
+	case Original, Plus31D, IslandsOfCores:
+	default:
+		return fmt.Errorf("exec: unknown strategy %d", int(c.Strategy))
+	}
+	if c.CoreIslands && c.Strategy != IslandsOfCores {
+		return fmt.Errorf("exec: CoreIslands requires the islands-of-cores strategy")
+	}
+	if c.NodeOrder != nil {
+		if c.Strategy != IslandsOfCores {
+			return fmt.Errorf("exec: NodeOrder requires the islands-of-cores strategy")
+		}
+		if len(c.NodeOrder) != c.Machine.NumNodes() {
+			return fmt.Errorf("exec: NodeOrder has %d entries for %d nodes", len(c.NodeOrder), c.Machine.NumNodes())
+		}
+		seen := make([]bool, c.Machine.NumNodes())
+		for _, n := range c.NodeOrder {
+			if n < 0 || n >= len(seen) || seen[n] {
+				return fmt.Errorf("exec: NodeOrder is not a permutation of 0..%d", len(seen)-1)
+			}
+			seen[n] = true
+		}
+	}
+	return nil
+}
+
+// plan captures the geometry shared by both backends: the island partition,
+// the block decomposition, and the per-stage wavefront spans.
+type plan struct {
+	cfg      Config
+	prog     *stencil.Program
+	analysis *stencil.HaloAnalysis
+	domain   grid.Size
+	// parts[i] is island i's output region. Original and Plus31D use a
+	// single island covering the whole domain.
+	parts []grid.Region
+	// blocks[i] lists island i's (3+1)D blocks ([1 whole-region block]
+	// for Original).
+	blocks [][]grid.Region
+	// spans[i][s][b] is the region of stage s computed in block b of
+	// island i.
+	spans [][][]grid.Region
+	// trace enables simulator event recording in the model backend.
+	trace bool
+}
+
+// newPlan builds the execution geometry for a config, program and domain.
+func newPlan(cfg Config, prog *stencil.Program, domain grid.Size) (*plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	analysis, err := stencil.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan{cfg: cfg, prog: prog, analysis: analysis, domain: domain}
+
+	blockI := cfg.BlockI
+	if blockI <= 0 {
+		blockI = decomp.ChooseBlock(domain, cfg.Machine.Nodes[0].LLCBytes, cfg.LiveArrays).BI
+	}
+	whole := grid.WholeRegion(domain)
+	switch cfg.Strategy {
+	case Original:
+		p.parts = []grid.Region{whole}
+		p.blocks = [][]grid.Region{{whole}}
+	case Plus31D:
+		p.parts = []grid.Region{whole}
+		p.blocks = [][]grid.Region{decomp.BlocksAlongI(whole, blockI)}
+	case IslandsOfCores:
+		n := cfg.Machine.NumNodes()
+		if cfg.IslandGrid != [2]int{} {
+			pi, pj := cfg.IslandGrid[0], cfg.IslandGrid[1]
+			if pi <= 0 || pj <= 0 || pi*pj != n {
+				return nil, fmt.Errorf("exec: island grid %dx%d must multiply to the node count %d", pi, pj, n)
+			}
+			if domain.NI < pi || domain.NJ < pj {
+				return nil, fmt.Errorf("exec: island grid %dx%d does not fit domain %v", pi, pj, domain)
+			}
+			p.parts = decomp.Partition2D(domain, pi, pj)
+		} else {
+			partDim := domain.NI
+			if cfg.Variant == decomp.VariantB {
+				partDim = domain.NJ
+			}
+			if partDim < n {
+				return nil, fmt.Errorf("exec: cannot place %d islands along a dimension of %d cells", n, partDim)
+			}
+			p.parts = decomp.Partition1D(domain, n, cfg.Variant)
+		}
+		p.blocks = make([][]grid.Region, n)
+		for i, part := range p.parts {
+			p.blocks[i] = decomp.BlocksAlongI(part, blockI)
+		}
+	}
+
+	p.spans = make([][][]grid.Region, len(p.parts))
+	for i, part := range p.parts {
+		p.spans[i] = make([][]grid.Region, len(prog.Stages))
+		for s := range prog.Stages {
+			stageRegion := p.analysis.StageRegion(s, part, domain)
+			if cfg.Strategy == Original {
+				// No blocking: the stage covers the whole domain.
+				p.spans[i][s] = []grid.Region{stageRegion}
+				continue
+			}
+			ihi := p.analysis.StageExtents[s].IHi
+			p.spans[i][s] = decomp.WavefrontSpans(stageRegion, p.blocks[i], ihi)
+		}
+	}
+	return p, nil
+}
+
+// islandCells returns the total cells island i computes for stage s
+// (including redundant trapezoids).
+func (p *plan) islandCells(i, s int) int64 {
+	var c int64
+	for _, r := range p.spans[i][s] {
+		c += int64(r.Cells())
+	}
+	return c
+}
+
+// workerRegion restricts a stage span of island i to the j-trapezoid of one
+// core's sub-island: the worker owning output sub-region sub computes stage
+// s on the span's i/k ranges but only on sub grown by the stage's j-extent
+// (clamped into the span) — the core-level islands of the paper's §6.
+func (p *plan) workerRegion(i, s, b int, sub grid.Region) grid.Region {
+	span := p.spans[i][s][b]
+	if span.Empty() || sub.Empty() {
+		return grid.Region{}
+	}
+	ext := p.analysis.StageExtents[s]
+	out := span
+	out.J0 = max(span.J0, sub.J0-ext.JLo)
+	out.J1 = min(span.J1, sub.J1+ext.JHi)
+	if out.Empty() {
+		return grid.Region{}
+	}
+	return out
+}
+
+// coreIslandCells returns the total cells island i computes for stage s when
+// its part is further split into n core-level sub-islands along j.
+func (p *plan) coreIslandCells(i, s, n int) int64 {
+	subs := decomp.SplitDim(p.parts[i], 1, n)
+	var c int64
+	for b := range p.spans[i][s] {
+		for _, sub := range subs {
+			c += int64(p.workerRegion(i, s, b, sub).Cells())
+		}
+	}
+	return c
+}
+
+// UsefulFlopsPerStep returns the baseline flop count of one step (each stage
+// exactly once per domain cell) — the flops the paper's sustained
+// performance (Table 4) is computed from.
+func UsefulFlopsPerStep(prog *stencil.Program, domain grid.Size) float64 {
+	return float64(prog.TotalFlopsPerCellStep()) * float64(domain.Cells())
+}
+
+// OriginalTraversals returns how many full-array sweeps of main-memory
+// traffic one original-version step performs: each stage re-reads its inputs
+// from memory and writes its output back (63 + 17 = 80 for MPDATA,
+// reproducing the paper's 133 GB per 50 steps on a 256x256x64 grid).
+func OriginalTraversals(prog *stencil.Program) int {
+	n := 0
+	for i := range prog.Stages {
+		n += len(prog.Stages[i].Inputs) + 1
+	}
+	return n
+}
+
+// BlockedTraversalEquivalent returns the per-step main-memory traffic of the
+// blocked strategies in units of full-array sweeps: the 5 inputs and 1
+// output, inflated by cache spills (reproducing the paper's 30 GB).
+func BlockedTraversalEquivalent(prog *stencil.Program) float64 {
+	return float64(len(prog.StepInputs)+1) * SpillFactor
+}

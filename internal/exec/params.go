@@ -1,0 +1,99 @@
+package exec
+
+// Model calibration constants. Each constant is a physical machine parameter
+// of the SGI UV 2000 / Xeon E5-4627v2 platform; values are taken from public
+// specifications where available and otherwise calibrated once against the
+// single-socket anchors of the paper (Table 1 P=1 and §3.2), never against
+// the multi-socket rows those anchors are used to predict.
+const (
+	// MemBWBytes is the sustained local stream bandwidth of one socket.
+	// Calibrated from Table 1, P=1, original version: the original code
+	// performs 80 full-array traversals per time step (63 stage reads +
+	// 17 stage writes, mechanically counted from the 17-stage program),
+	// i.e. 80 * 256 MiB * 50 steps = 1049 GiB in 30.4 s => 35.3 GB/s.
+	// This is ~59% of the socket's 4-channel DDR3-1866 peak, a typical
+	// stream efficiency.
+	MemBWBytes = 35.3e9
+
+	// CacheKernelFlopsPerCore is the effective per-core throughput of the
+	// cache-blocked MPDATA kernels. Calibrated from Table 1, P=1, (3+1)D:
+	// 229 flops/cell * 1024*512*64 cells * 50 steps = 384.2 Gflop in
+	// 9.0 s with memory overlapped => 42.7 Gflop/s per socket = 5.34
+	// Gflop/s per core (40.4% of peak, the utilization the paper itself
+	// reports for P=1 in Table 4).
+	CacheKernelFlopsPerCore = 7.25e9
+
+	// DSMCoherenceFactor scales the cache-kernel throughput when more
+	// than one NUMA node participates: with the NUMAlink directory
+	// active across nodes, every LLC miss pays a distributed-directory
+	// lookup, stealing a fraction of each core's issue slots. The UV
+	// line is known for this single-node vs multi-node discontinuity.
+	DSMCoherenceFactor = 0.82
+
+	// SpillFactor inflates the (3+1)D per-block main-memory traffic over
+	// the compulsory 6 arrays (5 in + 1 out): conflict and capacity
+	// spills of a working set sized at the LLC boundary. Calibrated from
+	// §3.2: the (3+1)D traffic for a 256x256x64 grid and 50 steps is
+	// 30 GB = 6 arrays * 33.55 MB * 3.0 * 50.
+	SpillFactor = 3.0
+
+	// MemSerialFraction is the fraction of a block's memory traffic that
+	// is not overlapped with computation (start-of-block fills the
+	// hardware prefetcher cannot hide across the block boundary).
+	MemSerialFraction = 0.3
+
+	// L3BWBytes is the intra-socket cache-to-cache bandwidth through the
+	// shared L3 ring.
+	L3BWBytes = 150e9
+
+	// LocalMemLatency is the local DRAM access latency.
+	LocalMemLatency = 90e-9
+
+	// CacheLineBytes is the coherence granularity.
+	CacheLineBytes = 64
+
+	// RemoteStreamLines is the number of outstanding cache lines a core's
+	// prefetchers sustain on a remote memory stream; it caps a single
+	// core's remote bandwidth at RemoteStreamLines*64B / round-trip.
+	RemoteStreamLines = 80
+
+	// C2CLines is the number of outstanding cache-to-cache transfers for
+	// remote halo pulls. Demand misses on another socket's dirty lines
+	// have far less memory-level parallelism than prefetched streams.
+	C2CLines = 16
+
+	// C2CHopFactor multiplies the per-hop latency for cache-to-cache
+	// transfers: each line involves a three-party directory transaction
+	// (requester -> home directory -> owner -> requester).
+	C2CHopFactor = 4.0
+
+	// C2CBaseLatency is the fixed latency of a cache-to-cache
+	// transaction on top of the per-hop cost.
+	C2CBaseLatency = 0.6e-6
+
+	// BarrierBase is the fixed cost of one barrier episode.
+	BarrierBase = 0.7e-6
+
+	// BarrierPerLevel is the per-tree-level cost of a barrier over n
+	// cores (log2(n) levels).
+	BarrierPerLevel = 1.0e-6
+
+	// BarrierPerNode is the per-participating-node cost of a barrier:
+	// the DSM release fans out over a flat tree of hub agents.
+	BarrierPerNode = 1.3e-6
+
+	// BarrierHopFactor converts the participant set's hop-diameter
+	// latency into barrier cost (gather + release traversals).
+	BarrierHopFactor = 2.0
+)
+
+// remoteRTT is the round-trip time of one remote memory transaction over a
+// path with the given one-way latency.
+func remoteRTT(oneWay float64) float64 {
+	return 2*oneWay + LocalMemLatency
+}
+
+// c2cRTT is the round-trip of a directory-mediated cache-to-cache transfer.
+func c2cRTT(oneWay float64) float64 {
+	return C2CHopFactor*oneWay + C2CBaseLatency
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+// TestParamsScaled covers the perturbation helper.
+func TestParamsScaled(t *testing.T) {
+	base := DefaultParams()
+	for _, name := range ParamNames() {
+		up := base.Scaled(name, 1.5)
+		if up == base {
+			t.Errorf("scaling %s changed nothing", name)
+		}
+		if got := base.Scaled(name, 1); got != base {
+			t.Errorf("identity scaling of %s changed params", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown parameter must panic")
+		}
+	}()
+	base.Scaled("NotAParameter", 2)
+}
+
+// TestConclusionsRobustToParams is the sensitivity study: every headline
+// conclusion of the reproduction must survive perturbing each model
+// constant by ±20% — i.e. the orderings come from the mechanisms, not from
+// the calibration.
+func TestConclusionsRobustToParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	prog := &mpdata.NewProgram().Program
+	domain := grid.Sz(1024, 512, 64)
+	m14, err := topology.UV2000(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := topology.UV2000(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, par Params) {
+		price := func(m *topology.Machine, s Strategy, pl grid.PlacementPolicy) float64 {
+			r, err := Model(Config{
+				Machine: m, Strategy: s, Placement: pl, Steps: 50, ModelParams: &par,
+			}, prog, domain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.TotalTime
+		}
+		isl14 := price(m14, IslandsOfCores, grid.FirstTouchParallel)
+		blk14 := price(m14, Plus31D, grid.FirstTouchParallel)
+		orig14 := price(m14, Original, grid.FirstTouchParallel)
+		ser14 := price(m14, Original, grid.FirstTouchSerial)
+		blk4 := price(m4, Plus31D, grid.FirstTouchParallel)
+		orig4 := price(m4, Original, grid.FirstTouchParallel)
+
+		// The paper's orderings:
+		if !(isl14 < orig14 && orig14 < blk14) {
+			t.Errorf("%s: ordering islands < original < (3+1)D broken at P=14: %.2f %.2f %.2f",
+				name, isl14, orig14, blk14)
+		}
+		if spr := blk14 / isl14; spr < 5 {
+			t.Errorf("%s: S_pr(14) collapsed to %.1f", name, spr)
+		}
+		if ser14 < 5*orig14 {
+			t.Errorf("%s: serial-init no longer catastrophic (%.1f vs %.1f)", name, ser14, orig14)
+		}
+		if blk4 < orig4 {
+			t.Errorf("%s: (3+1)D should lose to original at P=4 (%.2f vs %.2f)", name, blk4, orig4)
+		}
+	}
+
+	check("defaults", DefaultParams())
+	for _, name := range ParamNames() {
+		for _, factor := range []float64{0.8, 1.25} {
+			// DSMCoherenceFactor*1.25 would exceed 1 (super-linear
+			// cores); cap the perturbation there.
+			if name == "DSMCoherenceFactor" && factor > 1 {
+				factor = 1 / 0.82 // back to exactly 1.0
+			}
+			check(name, DefaultParams().Scaled(name, factor))
+		}
+	}
+}

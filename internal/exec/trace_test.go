@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+func TestModelTraceTimeline(t *testing.T) {
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	res, timeline, err := ModelTrace(Config{
+		Machine: m, Strategy: IslandsOfCores, Placement: grid.FirstTouchParallel, Steps: 2,
+	}, prog, grid.Sz(128, 64, 16), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("traced model returned non-positive time")
+	}
+	for _, want := range []string{"timeline", "fill", "stage"} {
+		if !strings.Contains(timeline, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, timeline)
+		}
+	}
+	// Untraced runs keep no events and return the same timing.
+	plain, err := Model(Config{
+		Machine: m, Strategy: IslandsOfCores, Placement: grid.FirstTouchParallel, Steps: 2,
+	}, prog, grid.Sz(128, 64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalTime != res.TotalTime {
+		t.Fatalf("tracing changed timing: %v vs %v", plain.TotalTime, res.TotalTime)
+	}
+}
+
+func TestModelTraceOriginal(t *testing.T) {
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	_, timeline, err := ModelTrace(Config{
+		Machine: m, Strategy: Original, Placement: grid.FirstTouchSerial, Steps: 1,
+	}, prog, grid.Sz(64, 32, 8), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(timeline, "stage") || !strings.Contains(timeline, "barrier") {
+		t.Fatalf("original timeline missing stages/barriers:\n%s", timeline)
+	}
+}

@@ -1,0 +1,71 @@
+package gcr
+
+import (
+	"fmt"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/sched"
+)
+
+// BenchmarkSolve measures the pressure solve across worker counts and
+// preconditioning, reporting iterations and cell throughput.
+func BenchmarkSolve(b *testing.B) {
+	domain := grid.Sz(48, 48, 24)
+	_, rhs := manufactured(domain)
+	for _, cfg := range []struct {
+		name   string
+		teams  int
+		per    int
+		sweeps int
+	}{
+		{"sequential", 0, 0, 0},
+		{"sequential-precond", 0, 0, 2},
+		{"2x4workers", 2, 4, 0},
+		{"2x4workers-precond", 2, 4, 2},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var sch *sched.Scheduler
+			if cfg.teams > 0 {
+				sch = sched.NewSized(cfg.teams, cfg.per)
+				defer sch.Close()
+			}
+			var iters int
+			for i := 0; i < b.N; i++ {
+				s := NewSolver(domain, Laplacian(domain), Options{
+					Tol: 1e-8, Scheduler: sch, PrecondSweeps: cfg.sweeps,
+				})
+				x := grid.NewField("x", domain)
+				res, err := s.Solve(x, rhs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatalf("did not converge: %+v", res)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iterations")
+			b.ReportMetric(float64(domain.Cells()*iters)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcell-iters/s")
+		})
+	}
+}
+
+// BenchmarkLaplacian measures the raw operator application.
+func BenchmarkLaplacian(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			domain := grid.Sz(n, n, n)
+			apply := Laplacian(domain)
+			src := grid.NewField("src", domain)
+			src.FillFunc(func(i, j, k int) float64 { return float64(i + j + k) })
+			dst := grid.NewField("dst", domain)
+			whole := grid.WholeRegion(domain)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				apply(dst, src, whole)
+			}
+			b.ReportMetric(float64(domain.Cells())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		})
+	}
+}

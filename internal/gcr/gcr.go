@@ -1,0 +1,355 @@
+// Package gcr implements the Generalized Conjugate Residual solver — the
+// other major component of the EULAG dynamic core alongside MPDATA (paper
+// §1: "Besides the GCR solver, MPDATA is the second major part of the
+// dynamic core of the EULAG geophysical model"; reference [3] parallelizes
+// exactly this solver on the first UV generation).
+//
+// GCR(k) solves the elliptic pressure problem A·x = b for a 7-point
+// Laplacian with homogeneous Dirichlet boundaries. In contrast to MPDATA's
+// islands — which are independent within a time step — every GCR iteration
+// needs global inner products, making it the communication-heavy
+// counterpoint that motivates keeping the two solvers' parallelizations
+// separate.
+package gcr
+
+import (
+	"fmt"
+	"math"
+
+	"islands/internal/decomp"
+	"islands/internal/grid"
+	"islands/internal/sched"
+	"islands/internal/stencil"
+)
+
+// Operator applies a linear operator to src over region r, writing dst.
+type Operator func(dst, src *grid.Field, r grid.Region)
+
+// Laplacian returns the standard 7-point negative Laplacian with unit grid
+// spacing and homogeneous Dirichlet boundaries (reads outside the domain are
+// zero): dst = 6·src − Σ neighbours. Interior cells use unchecked flat
+// indexing; the boundary shell falls back to guarded reads.
+func Laplacian(domain grid.Size) Operator {
+	at := func(f *grid.Field, i, j, k int) float64 {
+		if i < 0 || i >= domain.NI || j < 0 || j >= domain.NJ || k < 0 || k >= domain.NK {
+			return 0
+		}
+		return f.At(i, j, k)
+	}
+	slow := func(dst, src *grid.Field, r grid.Region) {
+		for i := r.I0; i < r.I1; i++ {
+			for j := r.J0; j < r.J1; j++ {
+				for k := r.K0; k < r.K1; k++ {
+					v := 6*src.At(i, j, k) -
+						at(src, i-1, j, k) - at(src, i+1, j, k) -
+						at(src, i, j-1, k) - at(src, i, j+1, k) -
+						at(src, i, j, k-1) - at(src, i, j, k+1)
+					dst.Set(i, j, k, v)
+				}
+			}
+		}
+	}
+	one := stencil.Extent{ILo: 1, IHi: 1, JLo: 1, JHi: 1, KLo: 1, KHi: 1}
+	return func(dst, src *grid.Field, r grid.Region) {
+		interior, border := stencil.InteriorSplit(r, one, domain)
+		if !interior.Empty() {
+			s, d := src.Data, dst.Data
+			si, sj, _ := stencil.Strides(domain)
+			nk := interior.K1 - interior.K0
+			stencil.ForEachRow(domain, interior, func(_, _, base int) {
+				for n := base; n < base+nk; n++ {
+					d[n] = 6*s[n] - s[n-si] - s[n+si] - s[n-sj] - s[n+sj] - s[n-1] - s[n+1]
+				}
+			})
+		}
+		for _, b := range border {
+			slow(dst, src, b)
+		}
+	}
+}
+
+// VariableCoeff returns the EULAG-style variable-coefficient elliptic
+// operator A·x = −div(h·grad x) discretized with arithmetic-mean face
+// coefficients on the 7-point stencil, homogeneous Dirichlet boundaries. With h ≡ 1 it
+// reduces exactly to Laplacian. The operator is symmetric positive definite
+// for positive h, so GCR applies unchanged.
+func VariableCoeff(domain grid.Size, h *grid.Field) Operator {
+	if h.Size != domain {
+		panic(fmt.Sprintf("gcr: coefficient field %v does not match domain %v", h.Size, domain))
+	}
+	// face returns the coefficient on the face between a cell and its
+	// neighbour (arithmetic mean; outside cells mirror the boundary cell).
+	face := func(i, j, k, ni, nj, nk int) float64 {
+		c := h.At(i, j, k)
+		if ni < 0 || ni >= domain.NI || nj < 0 || nj >= domain.NJ || nk < 0 || nk >= domain.NK {
+			return c
+		}
+		return 0.5 * (c + h.At(ni, nj, nk))
+	}
+	at := func(f *grid.Field, i, j, k int) float64 {
+		if i < 0 || i >= domain.NI || j < 0 || j >= domain.NJ || k < 0 || k >= domain.NK {
+			return 0
+		}
+		return f.At(i, j, k)
+	}
+	return func(dst, src *grid.Field, r grid.Region) {
+		for i := r.I0; i < r.I1; i++ {
+			for j := r.J0; j < r.J1; j++ {
+				for k := r.K0; k < r.K1; k++ {
+					c := src.At(i, j, k)
+					var v float64
+					v += face(i, j, k, i-1, j, k) * (c - at(src, i-1, j, k))
+					v += face(i, j, k, i+1, j, k) * (c - at(src, i+1, j, k))
+					v += face(i, j, k, i, j-1, k) * (c - at(src, i, j-1, k))
+					v += face(i, j, k, i, j+1, k) * (c - at(src, i, j+1, k))
+					v += face(i, j, k, i, j, k-1) * (c - at(src, i, j, k-1))
+					v += face(i, j, k, i, j, k+1) * (c - at(src, i, j, k+1))
+					dst.Set(i, j, k, v)
+				}
+			}
+		}
+	}
+}
+
+// Options configures the solver.
+type Options struct {
+	// K is the restart depth (number of stored direction vectors);
+	// EULAG typically uses small k. Default 3.
+	K int
+	// MaxIter bounds the total iterations. Default 1000.
+	MaxIter int
+	// Tol is the relative residual reduction target ||r||/||b||. Default 1e-8.
+	Tol float64
+	// Scheduler, when set, parallelizes the operator applications, AXPYs
+	// and inner products across its work teams (islands); nil runs
+	// sequentially.
+	Scheduler *sched.Scheduler
+	// PrecondSweeps, when positive, preconditions each new search
+	// direction with that many damped-Jacobi relaxation sweeps (weight
+	// 2/3, diagonal 6) — the cheap approximate inverse EULAG-style
+	// preconditioned GCR uses (reference [3] parallelizes exactly this
+	// preconditioned solver). The sweeps are phase-synchronized, so they
+	// parallelize safely across chunks.
+	PrecondSweeps int
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+}
+
+// Result reports a solve.
+type Result struct {
+	Iterations int
+	// Residual is the final relative residual ||b - A·x|| / ||b||.
+	Residual float64
+	// Converged reports whether Tol was reached within MaxIter.
+	Converged bool
+}
+
+// Solver holds the solve workspace.
+type Solver struct {
+	opts   Options
+	domain grid.Size
+	apply  Operator
+	chunks []grid.Region
+	// workspace vectors
+	r, ar      *grid.Field
+	ps, aps    []*grid.Field
+	partialDot []float64
+}
+
+// NewSolver allocates a GCR(k) solver for the operator on the domain.
+func NewSolver(domain grid.Size, apply Operator, opts Options) *Solver {
+	opts.defaults()
+	s := &Solver{opts: opts, domain: domain, apply: apply}
+	whole := grid.WholeRegion(domain)
+	if opts.Scheduler != nil {
+		n := opts.Scheduler.TotalCores()
+		s.chunks = decomp.SplitDim(whole, 0, n)
+		s.partialDot = make([]float64, n)
+	} else {
+		s.chunks = []grid.Region{whole}
+		s.partialDot = make([]float64, 1)
+	}
+	s.r = grid.NewField("gcr.r", domain)
+	s.ar = grid.NewField("gcr.Ar", domain)
+	for i := 0; i < opts.K; i++ {
+		s.ps = append(s.ps, grid.NewField(fmt.Sprintf("gcr.p%d", i), domain))
+		s.aps = append(s.aps, grid.NewField(fmt.Sprintf("gcr.Ap%d", i), domain))
+	}
+	return s
+}
+
+// parallel runs fn over the solver's chunks (one goroutine per core when a
+// scheduler is attached; inline otherwise).
+func (s *Solver) parallel(fn func(chunk int, r grid.Region)) {
+	if s.opts.Scheduler == nil {
+		fn(0, s.chunks[0])
+		return
+	}
+	sch := s.opts.Scheduler
+	sch.RunAll(func(team, worker int) {
+		c := sch.Teams[team].Cores[worker]
+		if !s.chunks[c].Empty() {
+			fn(c, s.chunks[c])
+		}
+	})
+}
+
+// dot computes <a,b> with per-chunk partials reduced in fixed chunk order,
+// so the parallel result is deterministic.
+func (s *Solver) dot(a, b *grid.Field) float64 {
+	s.parallel(func(c int, reg grid.Region) {
+		var sum float64
+		for i := reg.I0; i < reg.I1; i++ {
+			for j := reg.J0; j < reg.J1; j++ {
+				base := (i*s.domain.NJ + j) * s.domain.NK
+				for k := reg.K0; k < reg.K1; k++ {
+					sum += a.Data[base+k] * b.Data[base+k]
+				}
+			}
+		}
+		s.partialDot[c] = sum
+	})
+	var total float64
+	for c := range s.chunks {
+		total += s.partialDot[c]
+		s.partialDot[c] = 0
+	}
+	return total
+}
+
+// axpy computes y += alpha*x chunk-parallel.
+func (s *Solver) axpy(alpha float64, x, y *grid.Field) {
+	s.parallel(func(_ int, reg grid.Region) {
+		for i := reg.I0; i < reg.I1; i++ {
+			for j := reg.J0; j < reg.J1; j++ {
+				base := (i*s.domain.NJ + j) * s.domain.NK
+				for k := reg.K0; k < reg.K1; k++ {
+					y.Data[base+k] += alpha * x.Data[base+k]
+				}
+			}
+		}
+	})
+}
+
+// applyOp runs the operator chunk-parallel.
+func (s *Solver) applyOp(dst, src *grid.Field) {
+	s.parallel(func(_ int, reg grid.Region) {
+		s.apply(dst, src, reg)
+	})
+}
+
+// copyInto copies src into dst chunk-parallel.
+func (s *Solver) copyInto(dst, src *grid.Field) {
+	s.parallel(func(_ int, reg grid.Region) {
+		grid.CopyRegion(dst, src, reg)
+	})
+}
+
+// scale sets dst = alpha*src chunk-parallel.
+func (s *Solver) scale(dst *grid.Field, alpha float64, src *grid.Field) {
+	s.parallel(func(_ int, reg grid.Region) {
+		for i := reg.I0; i < reg.I1; i++ {
+			for j := reg.J0; j < reg.J1; j++ {
+				base := (i*s.domain.NJ + j) * s.domain.NK
+				for k := reg.K0; k < reg.K1; k++ {
+					dst.Data[base+k] = alpha * src.Data[base+k]
+				}
+			}
+		}
+	})
+}
+
+// precondition sets dst ~= A^-1 src via damped-Jacobi sweeps. Each sweep is
+// two synchronized phases (operator application, then the relaxation
+// update), so neighbouring chunks never race.
+func (s *Solver) precondition(dst, src *grid.Field) {
+	const omega = 2.0 / 3
+	s.scale(dst, omega/6, src)
+	for sweep := 1; sweep < s.opts.PrecondSweeps; sweep++ {
+		s.applyOp(s.ar, dst) // s.ar is free scratch here
+		s.parallel(func(_ int, reg grid.Region) {
+			for i := reg.I0; i < reg.I1; i++ {
+				for j := reg.J0; j < reg.J1; j++ {
+					base := (i*s.domain.NJ + j) * s.domain.NK
+					for k := reg.K0; k < reg.K1; k++ {
+						dst.Data[base+k] += omega / 6 * (src.Data[base+k] - s.ar.Data[base+k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Solve runs GCR(k): x is the initial guess on entry and the solution on
+// return; b is the right-hand side.
+func (s *Solver) Solve(x, b *grid.Field) (*Result, error) {
+	if x.Size != s.domain || b.Size != s.domain {
+		return nil, fmt.Errorf("gcr: field sizes must match the solver domain %v", s.domain)
+	}
+	normB := math.Sqrt(s.dot(b, b))
+	if normB == 0 {
+		x.Fill(0)
+		return &Result{Converged: true}, nil
+	}
+
+	// r = b - A x
+	s.applyOp(s.ar, x)
+	s.copyInto(s.r, b)
+	s.axpy(-1, s.ar, s.r)
+
+	res := &Result{}
+	for res.Iterations < s.opts.MaxIter {
+		res.Residual = math.Sqrt(s.dot(s.r, s.r)) / normB
+		if res.Residual <= s.opts.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		slot := res.Iterations % s.opts.K
+		p, ap := s.ps[slot], s.aps[slot]
+		// New direction: the (preconditioned) residual, orthogonalized
+		// (in A^T A) against the stored directions.
+		if s.opts.PrecondSweeps > 0 {
+			s.precondition(p, s.r)
+		} else {
+			s.copyInto(p, s.r)
+		}
+		s.applyOp(ap, p)
+		for j := 0; j < s.opts.K; j++ {
+			if j == slot {
+				continue
+			}
+			if res.Iterations < s.opts.K && j >= res.Iterations {
+				continue // slot never filled yet
+			}
+			apj := s.aps[j]
+			den := s.dot(apj, apj)
+			if den == 0 {
+				continue
+			}
+			beta := -s.dot(ap, apj) / den
+			s.axpy(beta, s.ps[j], p)
+			s.axpy(beta, apj, ap)
+		}
+		den := s.dot(ap, ap)
+		if den == 0 {
+			return res, fmt.Errorf("gcr: breakdown (A·p = 0) at iteration %d", res.Iterations)
+		}
+		alpha := s.dot(s.r, ap) / den
+		s.axpy(alpha, p, x)
+		s.axpy(-alpha, ap, s.r)
+		res.Iterations++
+	}
+	res.Residual = math.Sqrt(s.dot(s.r, s.r)) / normB
+	res.Converged = res.Residual <= s.opts.Tol
+	return res, nil
+}

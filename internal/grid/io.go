@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// fieldMagic identifies the field file format ("ISLF" + version 1).
+var fieldMagic = [8]byte{'I', 'S', 'L', 'F', 0, 0, 0, 1}
+
+// WriteField serializes a field: an 8-byte magic, the three extents as
+// little-endian int64, the name length and bytes, then the raw float64 data.
+func WriteField(w io.Writer, f *Field) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fieldMagic[:]); err != nil {
+		return fmt.Errorf("grid: write header: %w", err)
+	}
+	for _, v := range []int64{int64(f.Size.NI), int64(f.Size.NJ), int64(f.Size.NK), int64(len(f.name))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("grid: write header: %w", err)
+		}
+	}
+	if _, err := bw.WriteString(f.name); err != nil {
+		return fmt.Errorf("grid: write name: %w", err)
+	}
+	buf := make([]byte, 8)
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("grid: write data: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadField deserializes a field written by WriteField. When r is already a
+// *bufio.Reader it is used directly, so several fields can be read back to
+// back from one stream (a fresh bufio wrapper would read ahead and consume
+// the following field's header).
+func ReadField(r io.Reader) (*Field, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("grid: read header: %w", err)
+	}
+	if magic != fieldMagic {
+		return nil, fmt.Errorf("grid: not a field file (bad magic %q)", magic[:4])
+	}
+	var dims [4]int64
+	for i := range dims {
+		if err := binary.Read(br, binary.LittleEndian, &dims[i]); err != nil {
+			return nil, fmt.Errorf("grid: read header: %w", err)
+		}
+	}
+	// Validate extents before allocating: each dimension bounded (so the
+	// product cannot overflow int64) and the total allocation sane.
+	const maxDim = 1 << 20
+	for i := 0; i < 3; i++ {
+		if dims[i] <= 0 || dims[i] > maxDim {
+			return nil, fmt.Errorf("grid: implausible extent %d", dims[i])
+		}
+	}
+	if cells := dims[0] * dims[1] * dims[2]; cells > 1<<28 {
+		// 2 GiB of doubles — beyond any grid this repository handles;
+		// reject before allocating rather than trusting the header.
+		return nil, fmt.Errorf("grid: field of %d cells exceeds the format limit", cells)
+	}
+	s := Sz(int(dims[0]), int(dims[1]), int(dims[2]))
+	nameLen := int(dims[3])
+	if nameLen < 0 || nameLen > 4096 {
+		return nil, fmt.Errorf("grid: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("grid: read name: %w", err)
+	}
+	f := NewField(string(name), s)
+	buf := make([]byte, 8)
+	for i := range f.Data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("grid: read data (cell %d of %d): %w", i, len(f.Data), err)
+		}
+		f.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return f, nil
+}
+
+// SaveField writes a field to a file.
+func SaveField(path string, f *Field) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("grid: %w", err)
+	}
+	defer out.Close()
+	if err := WriteField(out, f); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// LoadField reads a field from a file.
+func LoadField(path string) (*Field, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	defer in.Close()
+	return ReadField(in)
+}

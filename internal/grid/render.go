@@ -1,0 +1,41 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// renderRamp maps normalized values to characters, dark to bright.
+const renderRamp = " .:-=+*#%@"
+
+// RenderSlice draws the k-th horizontal slice of a field as ASCII art (one
+// character per cell, i down, j across), normalized to the slice's range.
+// It is a debugging aid for examples and the field-info tool, not a plot.
+func RenderSlice(f *Field, k int) string {
+	if k < 0 || k >= f.Size.NK {
+		return fmt.Sprintf("slice k=%d out of range [0,%d)\n", k, f.Size.NK)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < f.Size.NI; i++ {
+		for j := 0; j < f.Size.NJ; j++ {
+			v := f.At(i, j, k)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s k=%d, range [%.4g, %.4g]\n", f.Name(), k, lo, hi)
+	span := hi - lo
+	for i := 0; i < f.Size.NI; i++ {
+		for j := 0; j < f.Size.NJ; j++ {
+			idx := 0
+			if span > 0 {
+				idx = int((f.At(i, j, k) - lo) / span * float64(len(renderRamp)-1))
+			}
+			b.WriteByte(renderRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

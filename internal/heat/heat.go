@@ -1,0 +1,86 @@
+// Package heat provides a homogeneous stencil program — k fused iterations
+// of 7-point Jacobi diffusion — as a counterpoint to MPDATA's heterogeneous
+// stage graph. The paper positions itself against overlapped tiling for
+// homogeneous stencils (Guo et al. [6], Zhou et al. [26], §1): this package
+// reproduces that baseline inside the same framework, so the islands
+// machinery (halo analysis, trapezoids, executors, machine model) can be
+// compared across the two regimes.
+package heat
+
+import (
+	"fmt"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// In is the program's single step input.
+const In = "t0"
+
+// Alpha is the diffusion coefficient of the Jacobi update (stability
+// requires Alpha <= 1/6 in 3D).
+const Alpha = 1.0 / 8
+
+// NewProgram builds k fused Jacobi iterations: stage s computes
+//
+//	t[s] = t[s-1] + alpha * (sum of 6 neighbours - 6*center)
+//
+// Each stage has the same 7-point pattern — a homogeneous chain whose
+// backward halo analysis produces the classic overlapped-tiling trapezoids
+// (one cell per side per fused step).
+func NewProgram(k int) (*stencil.KernelProgram, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("heat: need at least one iteration, got %d", k)
+	}
+	sevenPoint := []stencil.Offset{
+		{DI: 0, DJ: 0, DK: 0},
+		{DI: -1}, {DI: 1},
+		{DJ: -1}, {DJ: 1},
+		{DK: -1}, {DK: 1},
+	}
+	var stages []stencil.KernelStage
+	prev := In
+	for s := 1; s <= k; s++ {
+		name := fmt.Sprintf("t%d", s)
+		in := prev
+		stages = append(stages, stencil.KernelStage{
+			Stage: stencil.Stage{
+				Name:   name,
+				Inputs: []stencil.Input{{From: in, Offsets: sevenPoint}},
+				Flops:  9, // 5 adds + center scale + alpha multiply + update
+			},
+			Kernel: func(env *stencil.Env, r grid.Region) {
+				src, out := env.Field(in), env.Field(name)
+				stencil.ForEach(r, func(i, j, k int) {
+					c := src.At(i, j, k)
+					lap := env.AtP(src, i-1, j, k) + env.AtP(src, i+1, j, k) +
+						env.AtP(src, i, j-1, k) + env.AtP(src, i, j+1, k) +
+						env.AtP(src, i, j, k-1) + env.AtP(src, i, j, k+1) - 6*c
+					out.Set(i, j, k, c+Alpha*lap)
+				})
+			},
+		})
+		prev = name
+	}
+	return stencil.BuildProgram(fmt.Sprintf("heat-jacobi%d", k), []string{In}, prev, stages)
+}
+
+// Reference advances the field by steps*k Jacobi iterations sequentially
+// (one iteration at a time over the whole domain) under the given boundary
+// condition — the check for the fused program's executors.
+func Reference(t0 *grid.Field, iterations int, bc stencil.Boundary) *grid.Field {
+	cur := t0.Clone()
+	next := grid.NewField("next", t0.Size)
+	env := &stencil.Env{Domain: t0.Size, BC: bc}
+	for it := 0; it < iterations; it++ {
+		stencil.ForEach(grid.WholeRegion(t0.Size), func(i, j, k int) {
+			c := cur.At(i, j, k)
+			lap := env.AtP(cur, i-1, j, k) + env.AtP(cur, i+1, j, k) +
+				env.AtP(cur, i, j-1, k) + env.AtP(cur, i, j+1, k) +
+				env.AtP(cur, i, j, k-1) + env.AtP(cur, i, j, k+1) - 6*c
+			next.Set(i, j, k, c+Alpha*lap)
+		})
+		cur, next = next, cur
+	}
+	return cur
+}

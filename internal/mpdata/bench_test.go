@@ -1,0 +1,92 @@
+package mpdata
+
+import (
+	"fmt"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// BenchmarkStage measures each of the 17 kernels over an interior region,
+// exercising the stride-based fast paths. Cell rates document the per-stage
+// cost structure (the pseudo-velocity stages dominate).
+func BenchmarkStage(b *testing.B) {
+	domain := grid.Sz(64, 64, 64)
+	state := NewState(domain)
+	state.SetGaussian(32, 32, 32, 8, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.15, -0.1)
+	kp := NewProgram()
+	env, err := stencil.NewEnv(&kp.Program, domain, state.InputMap())
+	if err != nil {
+		b.Fatal(err)
+	}
+	whole := grid.WholeRegion(domain)
+	// Populate all stage outputs once so every kernel has valid inputs.
+	for _, k := range kp.Kernels {
+		k(env, whole)
+	}
+	region := grid.Box(4, 60, 4, 60, 4, 60)
+	for s, kern := range kp.Kernels {
+		kern := kern
+		b.Run(fmt.Sprintf("%02d-%s", s+1, kp.Stages[s].Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kern(env, region)
+			}
+			b.ReportMetric(float64(region.Cells())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		})
+	}
+}
+
+// BenchmarkFullStep measures one complete 17-stage step (sequential).
+func BenchmarkFullStep(b *testing.B) {
+	state := NewState(grid.Sz(64, 64, 32))
+	state.SetGaussian(32, 32, 16, 6, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	solver, err := NewSolver(state)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.Step(1)
+	}
+	cells := float64(state.Domain.Cells())
+	b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	b.ReportMetric(cells*229*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+// BenchmarkBoundaryShare contrasts whole-domain execution (interior fast
+// path + boundary shell) against the interior alone, quantifying the
+// boundary path's cost share.
+func BenchmarkBoundaryShare(b *testing.B) {
+	domain := grid.Sz(48, 48, 48)
+	state := NewState(domain)
+	state.SetGaussian(24, 24, 24, 6, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	kp := NewProgram()
+	env, err := stencil.NewEnv(&kp.Program, domain, state.InputMap())
+	if err != nil {
+		b.Fatal(err)
+	}
+	whole := grid.WholeRegion(domain)
+	for _, k := range kp.Kernels {
+		k(env, whole)
+	}
+	for _, reg := range []struct {
+		name string
+		r    grid.Region
+	}{
+		{"whole", whole},
+		{"interior", grid.Box(4, 44, 4, 44, 4, 44)},
+	} {
+		b.Run(reg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, k := range kp.Kernels {
+					k(env, reg.r)
+				}
+			}
+			b.ReportMetric(float64(reg.r.Cells())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package mpdata
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"islands/internal/grid"
+)
+
+// checkpointMagic identifies the checkpoint format ("ISLC" + version 1).
+var checkpointMagic = [8]byte{'I', 'S', 'L', 'C', 0, 0, 0, 1}
+
+// WriteCheckpoint serializes a full simulation state (the five input fields
+// plus the completed-step counter) so a long run can be restarted exactly.
+func WriteCheckpoint(w io.Writer, s *State, steps int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("mpdata: checkpoint header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(steps)); err != nil {
+		return fmt.Errorf("mpdata: checkpoint header: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mpdata: checkpoint header: %w", err)
+	}
+	for _, f := range []*grid.Field{s.Psi, s.U1, s.U2, s.U3, s.H} {
+		if err := grid.WriteField(w, f); err != nil {
+			return fmt.Errorf("mpdata: checkpoint %s: %w", f.Name(), err)
+		}
+	}
+	return nil
+}
+
+// ReadCheckpoint restores a state written by WriteCheckpoint, returning the
+// state and the step counter it was taken at.
+func ReadCheckpoint(r io.Reader) (*State, int, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("mpdata: checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, 0, fmt.Errorf("mpdata: not a checkpoint (bad magic %q)", magic[:4])
+	}
+	var steps int64
+	if err := binary.Read(br, binary.LittleEndian, &steps); err != nil {
+		return nil, 0, fmt.Errorf("mpdata: checkpoint header: %w", err)
+	}
+	if steps < 0 {
+		return nil, 0, fmt.Errorf("mpdata: negative step counter %d", steps)
+	}
+	var fields []*grid.Field
+	for i := 0; i < 5; i++ {
+		f, err := grid.ReadField(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mpdata: checkpoint field %d: %w", i, err)
+		}
+		fields = append(fields, f)
+	}
+	domain := fields[0].Size
+	for i, f := range fields {
+		if f.Size != domain {
+			return nil, 0, fmt.Errorf("mpdata: checkpoint field %d has size %v, want %v", i, f.Size, domain)
+		}
+	}
+	s := &State{
+		Domain: domain,
+		Psi:    fields[0], U1: fields[1], U2: fields[2], U3: fields[3], H: fields[4],
+	}
+	return s, int(steps), nil
+}
+
+// SaveCheckpoint writes a checkpoint file.
+func SaveCheckpoint(path string, s *State, steps int) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mpdata: %w", err)
+	}
+	defer out.Close()
+	if err := WriteCheckpoint(out, s, steps); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (*State, int, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mpdata: %w", err)
+	}
+	defer in.Close()
+	return ReadCheckpoint(in)
+}

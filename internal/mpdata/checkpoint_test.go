@@ -1,0 +1,102 @@
+package mpdata
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"islands/internal/grid"
+)
+
+// TestCheckpointRestartExact: solving N steps straight through must equal
+// solving N/2 steps, checkpointing, restoring, and solving the rest.
+func TestCheckpointRestartExact(t *testing.T) {
+	domain := grid.Sz(16, 12, 8)
+	mk := func() *State {
+		s := NewState(domain)
+		s.SetGaussian(8, 6, 4, 2, 1, 0.1)
+		s.SetUniformVelocity(0.25, 0.15, -0.1)
+		return s
+	}
+	straight := mk()
+	solver, err := NewSolver(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.Step(10)
+
+	first := mk()
+	s1, err := NewSolver(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Step(5)
+	path := filepath.Join(t.TempDir(), "ckpt.islc")
+	if err := SaveCheckpoint(path, first, s1.Steps); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, steps, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Fatalf("restored step counter = %d, want 5", steps)
+	}
+	s2, err := NewSolver(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Steps = steps
+	s2.Step(5)
+	if d := grid.MaxAbsDiff(straight.Psi, restored.Psi); d != 0 {
+		t.Fatalf("checkpoint restart differs by %g", d)
+	}
+	if s2.Steps != 10 {
+		t.Fatalf("restarted counter = %d, want 10", s2.Steps)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadCheckpoint(strings.NewReader("not a checkpoint......")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	buf.Write(checkpointMagic[:])
+	if _, _, err := ReadCheckpoint(&buf); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestCheckpointRejectsMixedSizes(t *testing.T) {
+	s := NewState(grid.Sz(4, 4, 4))
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the stream with one field replaced by a differently-sized one.
+	var bad bytes.Buffer
+	bad.Write(buf.Bytes()[:16]) // magic + steps
+	if err := grid.WriteField(&bad, s.Psi); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.WriteField(&bad, grid.NewField("u1", grid.Sz(3, 4, 4))); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*grid.Field{s.U2, s.U3, s.H} {
+		if err := grid.WriteField(&bad, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ReadCheckpoint(&bad); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	if _, _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,61 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+)
+
+func TestCategorizeTagTimes(t *testing.T) {
+	shares := CategorizeTagTimes(map[string]float64{
+		"isl0.stage3": 6,
+		"isl0.halo3":  2,
+		"stagebar":    1,
+		"fill":        1,
+	})
+	if math.Abs(shares["compute"]-60) > 1e-9 || math.Abs(shares["halo"]-20) > 1e-9 ||
+		math.Abs(shares["barrier"]-10) > 1e-9 || math.Abs(shares["fill"]-10) > 1e-9 {
+		t.Fatalf("shares = %v", shares)
+	}
+	empty := CategorizeTagTimes(nil)
+	for k, v := range empty {
+		if v != 0 {
+			t.Fatalf("empty input gave %s=%v", k, v)
+		}
+	}
+}
+
+// TestBreakdownShapes: the breakdown quantifies the paper's §5 narrative —
+// (3+1)D burns most of its core time on halos and barriers, the islands
+// strategy on arithmetic.
+func TestBreakdownShapes(t *testing.T) {
+	prog := &mpdata.NewProgram().Program
+	tab, err := BreakdownTable(prog, grid.Sz(512, 256, 32), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocked, islands []float64
+	for _, r := range tab.Rows {
+		switch r.Label {
+		case "(3+1)D":
+			blocked = r.Values
+		case "islands-of-cores":
+			islands = r.Values
+		}
+	}
+	if blocked == nil || islands == nil {
+		t.Fatalf("rows missing:\n%s", tab.Render())
+	}
+	// Columns: compute+mem, halo, barrier, fill.
+	if blocked[1]+blocked[2] < 40 {
+		t.Fatalf("(3+1)D halo+barrier share %.1f%%, expected dominant (>40%%)", blocked[1]+blocked[2])
+	}
+	if islands[0] < 60 {
+		t.Fatalf("islands compute share %.1f%%, expected dominant (>60%%)", islands[0])
+	}
+	if islands[1]+islands[2] >= blocked[1]+blocked[2] {
+		t.Fatal("islands must spend less on halo+barriers than (3+1)D")
+	}
+}

@@ -1,0 +1,137 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/topology"
+)
+
+func TestCountersTableSerialPlacement(t *testing.T) {
+	m, err := topology.UV2000(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	r, err := exec.Model(exec.Config{
+		Machine: m, Strategy: exec.Original, Placement: grid.FirstTouchSerial, Steps: 2,
+	}, prog, grid.Sz(128, 64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial first-touch: every memory byte served by node 0.
+	if r.NodeMemBytes[0] <= 0 {
+		t.Fatal("node 0 must serve traffic")
+	}
+	for n := 1; n < 3; n++ {
+		if r.NodeMemBytes[n] != 0 {
+			t.Fatalf("node %d served %v bytes under serial placement", n, r.NodeMemBytes[n])
+		}
+	}
+	out := CountersTable(m, r).Render()
+	for _, want := range []string{"mem controller 0", "link 0", "total main memory", "total NUMAlink"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("counters table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountersParallelPlacementBalanced(t *testing.T) {
+	m, err := topology.UV2000(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	r, err := exec.Model(exec.Config{
+		Machine: m, Strategy: exec.Original, Placement: grid.FirstTouchParallel, Steps: 2,
+	}, prog, grid.Sz(128, 64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, min, max float64
+	min = r.NodeMemBytes[0]
+	for _, b := range r.NodeMemBytes {
+		total += b
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if total <= 0 {
+		t.Fatal("no memory traffic recorded")
+	}
+	// First-touch parallel: traffic spread across controllers within 2x.
+	if min <= 0 || max/min > 2 {
+		t.Fatalf("controllers unbalanced under first-touch: %v", r.NodeMemBytes)
+	}
+	// Counter totals agree with the aggregate traffic to within the halo
+	// contribution (halos are extra reads not counted in MemTrafficBytes).
+	if total < 0.9*r.MemTrafficBytes {
+		t.Fatalf("controller sum %.2e far below traffic %.2e", total, r.MemTrafficBytes)
+	}
+}
+
+func TestCountersIslandsLocal(t *testing.T) {
+	m, err := topology.UV2000(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	r, err := exec.Model(exec.Config{
+		Machine: m, Strategy: exec.IslandsOfCores, Placement: grid.FirstTouchParallel, Steps: 2,
+	}, prog, grid.Sz(128, 64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var link, mem float64
+	for _, b := range r.LinkBytes {
+		link += b
+	}
+	for _, b := range r.NodeMemBytes {
+		mem += b
+	}
+	// Islands keep traffic local: NUMAlink carries only the thin input
+	// halos, far less than the memory streams.
+	if link >= mem/10 {
+		t.Fatalf("islands link traffic %.2e not small vs memory %.2e", link, mem)
+	}
+}
+
+func TestIslands2DTableSmall(t *testing.T) {
+	prog := &mpdata.NewProgram().Program
+	s := NewSweep(prog, grid.Sz(128, 64, 16), 3, 4)
+	tab, err := s.Islands2DTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Factorizations of 4: 1x4, 2x2, 4x1.
+	if len(tab.Cols) != 3 {
+		t.Fatalf("cols = %v", tab.Cols)
+	}
+	times := tab.Rows[0].Values
+	for _, v := range times {
+		if v <= 0 {
+			t.Fatalf("non-positive time in %v", times)
+		}
+	}
+}
+
+func TestAffinityTableSmall(t *testing.T) {
+	prog := &mpdata.NewProgram().Program
+	tab, err := AffinityTable(prog, grid.Sz(128, 64, 16), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	adjacent, scattered := tab.Rows[0].Values, tab.Rows[1].Values
+	if scattered[1] <= adjacent[1] {
+		t.Fatalf("scattered NUMAlink traffic (%v) must exceed adjacent (%v)", scattered[1], adjacent[1])
+	}
+}

@@ -1,0 +1,101 @@
+package perf
+
+// The paper's published evaluation numbers (PaCT 2017, Tables 1-4),
+// transcribed for side-by-side comparison in reports. Index 0 is P=1.
+var (
+	// PaperTable1OriginalSerial: original version without first-touch
+	// parallel initialization (Table 1, row "Original").
+	PaperTable1OriginalSerial = []float64{30.4, 44.5, 58.2, 61.5, 64.3, 70.1, 71.6, 73.7, 75.4, 77.6, 78.4, 78.2, 80.6, 82.2}
+	// PaperTable1OriginalFT: with first-touch parallel initialization.
+	PaperTable1OriginalFT = []float64{30.4, 15.4, 10.5, 7.9, 6.6, 5.6, 5.0, 4.3, 4.0, 3.6, 3.3, 3.1, 3.0, 2.8}
+	// PaperTable1Plus31D: the pure (3+1)D decomposition.
+	PaperTable1Plus31D = []float64{9.0, 8.2, 7.4, 8.0, 7.1, 7.2, 7.3, 7.7, 9.1, 9.5, 10.2, 10.1, 10.3, 10.4}
+
+	// PaperTable2VariantA/B: extra elements [%] (Table 2).
+	PaperTable2VariantA = []float64{0, 0.25, 0.49, 0.74, 0.99, 1.24, 1.48, 1.73, 1.98, 2.22, 2.47, 2.72, 2.96, 3.21}
+	PaperTable2VariantB = []float64{0, 0.49, 0.99, 1.48, 1.98, 2.47, 2.96, 3.46, 3.95, 4.45, 4.94, 5.43, 5.93, 6.42}
+
+	// PaperTable3Islands: islands-of-cores execution times (Table 3).
+	PaperTable3Islands = []float64{9.00, 5.62, 4.17, 2.93, 2.34, 1.97, 1.72, 1.49, 1.36, 1.25, 1.12, 1.06, 1.05, 1.01}
+	// PaperTable3Spr / Sov: the published speedups.
+	PaperTable3Spr = []float64{1.00, 1.46, 1.77, 2.72, 3.02, 3.66, 4.22, 5.16, 6.70, 7.58, 9.11, 9.53, 9.81, 10.30}
+	PaperTable3Sov = []float64{3.38, 2.74, 2.52, 2.69, 2.80, 2.85, 2.88, 2.87, 2.95, 2.86, 2.96, 2.96, 2.81, 2.78}
+
+	// PaperTable4Sustained: sustained Gflop/s (Table 4; note the paper
+	// omits P=13 in that table — interpolated here as the midpoint).
+	PaperTable4Sustained = []float64{42.7, 68.5, 92.5, 131.9, 165.5, 197.0, 226.1, 261.4, 287.0, 325.9, 349.8, 370.3, 380.2, 390.1}
+	// PaperTable4Utilization: utilization rate [%].
+	PaperTable4Utilization = []float64{40.4, 32.4, 29.2, 31.2, 31.3, 31.1, 30.5, 30.9, 30.2, 30.8, 30.1, 29.2, 27.7, 26.3}
+)
+
+// truncate returns the first n entries (n <= len).
+func truncate(v []float64, n int) []float64 {
+	if n > len(v) {
+		n = len(v)
+	}
+	return v[:n]
+}
+
+// Table1WithPaper renders Table 1 with the paper's rows interleaved.
+func (s *Sweep) Table1WithPaper() (*Table, error) {
+	t, err := s.Table1()
+	if err != nil {
+		return nil, err
+	}
+	t.Title += " — model vs paper"
+	rows := t.Rows
+	t.Rows = nil
+	paper := [][]float64{PaperTable1OriginalSerial, PaperTable1OriginalFT, PaperTable1Plus31D}
+	for i, r := range rows {
+		t.Rows = append(t.Rows, r)
+		t.AddRow(r.Label+" (paper)", "%.1f", truncate(paper[i], s.MaxP))
+	}
+	return t, nil
+}
+
+// Table3WithPaper renders Table 3 with the paper's islands and speedup rows
+// interleaved.
+func (s *Sweep) Table3WithPaper() (*Table, error) {
+	t, err := s.Table3()
+	if err != nil {
+		return nil, err
+	}
+	t.Title += " — model vs paper"
+	rows := t.Rows
+	t.Rows = nil
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r)
+		switch r.Label {
+		case "Islands of cores":
+			t.AddRow("Islands (paper)", "%.2f", truncate(PaperTable3Islands, s.MaxP))
+		case "S_pr":
+			t.AddRow("S_pr (paper)", "%.2f", truncate(PaperTable3Spr, s.MaxP))
+		case "S_ov":
+			t.AddRow("S_ov (paper)", "%.2f", truncate(PaperTable3Sov, s.MaxP))
+		}
+	}
+	return t, nil
+}
+
+// MaxRelErr returns the largest relative deviation |model-paper|/paper over
+// the overlapping prefix of two series.
+func MaxRelErr(model, paper []float64) float64 {
+	n := len(model)
+	if len(paper) < n {
+		n = len(paper)
+	}
+	var m float64
+	for i := 0; i < n; i++ {
+		if paper[i] == 0 {
+			continue
+		}
+		d := (model[i] - paper[i]) / paper[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

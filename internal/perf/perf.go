@@ -1,0 +1,175 @@
+// Package perf computes the paper's performance metrics — partial and
+// overall speedups, sustained Gflop/s, utilization rate, parallel efficiency
+// — and assembles them into the tables and figure series of the evaluation
+// section (Tables 1-4, Fig. 2), plus the ablations documented in DESIGN.md.
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"islands/internal/decomp"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// Table is a labeled numeric table rendered like the paper's.
+type Table struct {
+	Title   string
+	ColHead string
+	Cols    []string
+	Rows    []Row
+}
+
+// Row is one labeled series.
+type Row struct {
+	Label  string
+	Format string // fmt verb for values, e.g. "%.2f"
+	Values []float64
+}
+
+// AddRow appends a series to the table.
+func (t *Table) AddRow(label, format string, values []float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Format: format, Values: values})
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	width := 9
+	for _, c := range t.Cols {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	labelW := len(t.ColHead)
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, t.ColHead)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*s", width, fmt.Sprintf(r.Format, v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (one header row, one row
+// per series) for plotting Fig. 2-style charts outside this repository.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.ColHead))
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// Sweep memoizes model runs over the processor range so the tables that
+// share configurations (Tables 1, 3, 4, Fig. 2) price each configuration
+// once.
+type Sweep struct {
+	Domain grid.Size
+	Steps  int
+	MaxP   int
+	Prog   *stencil.Program
+
+	cache map[sweepKey]*exec.ModelResult
+}
+
+type sweepKey struct {
+	p         int
+	strat     exec.Strategy
+	placement grid.PlacementPolicy
+	variant   decomp.Variant
+}
+
+// NewSweep builds a sweep over 1..maxP UV 2000 nodes.
+func NewSweep(prog *stencil.Program, domain grid.Size, steps, maxP int) *Sweep {
+	return &Sweep{
+		Domain: domain, Steps: steps, MaxP: maxP, Prog: prog,
+		cache: make(map[sweepKey]*exec.ModelResult),
+	}
+}
+
+// Get prices one configuration (memoized).
+func (s *Sweep) Get(p int, strat exec.Strategy, placement grid.PlacementPolicy, variant decomp.Variant) (*exec.ModelResult, error) {
+	key := sweepKey{p, strat, placement, variant}
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	m, err := topology.UV2000(p)
+	if err != nil {
+		return nil, err
+	}
+	r, err := exec.Model(exec.Config{
+		Machine:   m,
+		Strategy:  strat,
+		Placement: placement,
+		Variant:   variant,
+		Steps:     s.Steps,
+	}, s.Prog, s.Domain)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// times collects TotalTime over P=1..MaxP for one configuration.
+func (s *Sweep) times(strat exec.Strategy, placement grid.PlacementPolicy, variant decomp.Variant) ([]float64, error) {
+	out := make([]float64, s.MaxP)
+	for p := 1; p <= s.MaxP; p++ {
+		r, err := s.Get(p, strat, placement, variant)
+		if err != nil {
+			return nil, err
+		}
+		out[p-1] = r.TotalTime
+	}
+	return out, nil
+}
+
+func (s *Sweep) cols() []string {
+	cols := make([]string, s.MaxP)
+	for p := 1; p <= s.MaxP; p++ {
+		cols[p-1] = fmt.Sprintf("%d", p)
+	}
+	return cols
+}
+
+// Speedups computes element-wise ratios base[i]/target[i].
+func Speedups(base, target []float64) []float64 {
+	out := make([]float64, len(base))
+	for i := range base {
+		out[i] = base[i] / target[i]
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package perf
+
+import (
+	"fmt"
+
+	"islands/internal/decomp"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// StageRoofline describes one stage's position against the machine balance.
+type StageRoofline struct {
+	Name  string
+	Flops int
+	// BytesOriginal is the per-cell main-memory traffic when the stage
+	// runs stand-alone (original version): all inputs streamed in, the
+	// output written back.
+	BytesOriginal int
+	// IntensityOriginal is flops per byte in the original version.
+	IntensityOriginal float64
+	// MemoryBound reports whether the stage is below the machine balance
+	// when run stand-alone.
+	MemoryBound bool
+}
+
+// MachineBalance returns the flops-per-byte ratio at which a node's compute
+// and memory system are in equilibrium; stages below it are memory-bound
+// when their data streams from main memory.
+func MachineBalance(n topology.Node) float64 {
+	return n.PeakFlops() / n.MemBWBytes
+}
+
+// Roofline classifies every stage of a program against a node's balance.
+// It quantifies the paper's core premise: every MPDATA stage is far below
+// the machine balance, so the original (stage-by-stage, memory-streaming)
+// version cannot be compute-bound — only keeping intermediates cache-resident
+// ((3+1)D, islands) moves the computation to the compute-bound regime.
+func Roofline(prog *stencil.Program, n topology.Node) []StageRoofline {
+	out := make([]StageRoofline, len(prog.Stages))
+	balance := MachineBalance(n)
+	for i := range prog.Stages {
+		st := &prog.Stages[i]
+		bytes := (len(st.Inputs) + 1) * grid.CellBytes
+		intensity := float64(st.Flops) / float64(bytes)
+		out[i] = StageRoofline{
+			Name:              st.Name,
+			Flops:             st.Flops,
+			BytesOriginal:     bytes,
+			IntensityOriginal: intensity,
+			MemoryBound:       intensity < balance,
+		}
+	}
+	return out
+}
+
+// RooflineTable renders the classification plus the whole-program numbers
+// for the original and cache-blocked executions.
+func RooflineTable(prog *stencil.Program, n topology.Node) *Table {
+	rl := Roofline(prog, n)
+	t := &Table{
+		Title: fmt.Sprintf("Roofline: machine balance %.2f flops/byte (%.1f Gflop/s, %.1f GB/s per socket)",
+			MachineBalance(n), n.PeakFlops()/1e9, n.MemBWBytes/1e9),
+		ColHead: "stage",
+		Cols:    []string{"flops", "bytes", "flops/B"},
+	}
+	memBound := 0
+	for _, s := range rl {
+		t.AddRow(s.Name, "%.2f", []float64{float64(s.Flops), float64(s.BytesOriginal), s.IntensityOriginal})
+		if s.MemoryBound {
+			memBound++
+		}
+	}
+	// Whole-program intensities: original (every stage streams) vs
+	// blocked (compulsory 6 sweeps, spill-inflated).
+	var flops, bytesOrig float64
+	for _, s := range rl {
+		flops += float64(s.Flops)
+		bytesOrig += float64(s.BytesOriginal)
+	}
+	bytesBlocked := float64(len(prog.StepInputs)+1) * grid.CellBytes * 3.0 // SpillFactor
+	t.AddRow("TOTAL original", "%.2f", []float64{flops, bytesOrig, flops / bytesOrig})
+	t.AddRow("TOTAL blocked", "%.2f", []float64{flops, bytesBlocked, flops / bytesBlocked})
+	t.AddRow("memory-bound stages", "%.0f", []float64{float64(memBound), float64(len(rl)), 0})
+	return t
+}
+
+// WeakScalingTable grows the domain with the processor count (the island
+// width per socket stays fixed) — the scaling study the paper's strong-scaling
+// evaluation leaves open. Perfect weak scaling keeps the time flat.
+func WeakScalingTable(prog *stencil.Program, perIslandNI int, base grid.Size, steps, maxP int) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: weak scaling, %d i-columns per island, %dx%d cross-section, %d steps",
+			perIslandNI, base.NJ, base.NK, steps),
+		ColHead: "# CPUs",
+	}
+	var times, gflops []float64
+	for p := 1; p <= maxP; p++ {
+		domain := grid.Sz(perIslandNI*p, base.NJ, base.NK)
+		s := NewSweep(prog, domain, steps, p)
+		r, err := s.Get(p, exec.IslandsOfCores, grid.FirstTouchParallel, decomp.VariantA)
+		if err != nil {
+			return nil, err
+		}
+		t.Cols = append(t.Cols, fmt.Sprintf("%d", p))
+		times = append(times, r.TotalTime)
+		gflops = append(gflops, r.SustainedFlops()/1e9)
+	}
+	t.AddRow("Islands time [s]", "%.2f", times)
+	t.AddRow("Sustained [Gflop/s]", "%.1f", gflops)
+	return t, nil
+}
+
+// AffinityTable is the §4.2 affinity ablation on a two-IRU cluster:
+// adjacency-preserving island placement versus a scattered permutation that
+// sends every inter-island halo across the external network.
+func AffinityTable(prog *stencil.Program, domain grid.Size, steps int) (*Table, error) {
+	m, err := topology.ClusterOfUV(2, 4)
+	if err != nil {
+		return nil, err
+	}
+	scattered := []int{0, 4, 1, 5, 2, 6, 3, 7}
+	t := &Table{
+		Title:   "Extension: island affinity on a 2-IRU cluster (paper §4.2: neighbours on adjacent processors)",
+		ColHead: "placement",
+		Cols:    []string{"time s", "NUMAlink GB"},
+	}
+	for _, c := range []struct {
+		name  string
+		order []int
+	}{
+		{"adjacent (identity)", nil},
+		{"scattered", scattered},
+	} {
+		r, err := exec.Model(exec.Config{
+			Machine: m, Strategy: exec.IslandsOfCores,
+			Placement: grid.FirstTouchParallel, Steps: steps, NodeOrder: c.order,
+		}, prog, domain)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, "%.3f", []float64{r.TotalTime, r.RemoteTrafficBytes / 1e9})
+	}
+	return t, nil
+}
+
+// DomainSweepTable prices the islands strategy at P processors over a range
+// of domain widths: the redundant trapezoid fraction falls as islands widen
+// (Table 2's percentages are per-boundary constants), so efficiency rises
+// with problem size.
+func DomainSweepTable(prog *stencil.Program, p int, widths []int, base grid.Size, steps int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: islands at P=%d vs domain width (cross-section %dx%d)", p, base.NJ, base.NK),
+		ColHead: "NI",
+	}
+	var times, extras, gflops []float64
+	for _, ni := range widths {
+		domain := grid.Sz(ni, base.NJ, base.NK)
+		s := NewSweep(prog, domain, steps, p)
+		r, err := s.Get(p, exec.IslandsOfCores, grid.FirstTouchParallel, decomp.VariantA)
+		if err != nil {
+			return nil, err
+		}
+		t.Cols = append(t.Cols, fmt.Sprintf("%d", ni))
+		times = append(times, r.TotalTime)
+		extras = append(extras, r.ExtraElementsPct)
+		gflops = append(gflops, r.SustainedFlops()/1e9)
+	}
+	t.AddRow("Time [s]", "%.3f", times)
+	t.AddRow("Extra elements [%]", "%.2f", extras)
+	t.AddRow("Sustained [Gflop/s]", "%.1f", gflops)
+	return t, nil
+}

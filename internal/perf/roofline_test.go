@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+func paperNode(t *testing.T) topology.Node {
+	t.Helper()
+	m, err := topology.UV2000(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Nodes[0]
+}
+
+func TestMachineBalance(t *testing.T) {
+	n := paperNode(t)
+	// 105.6 Gflop/s over 35.3 GB/s ~= 3 flops/byte.
+	if b := MachineBalance(n); math.Abs(b-105.6e9/35.3e9) > 1e-9 {
+		t.Fatalf("balance = %v", b)
+	}
+}
+
+func TestRooflineEveryStageMemoryBound(t *testing.T) {
+	// The paper's premise: streamed stage-by-stage, every MPDATA stage is
+	// memory-bound — cache blocking is the only way to the compute roof.
+	prog := &mpdata.NewProgram().Program
+	rl := Roofline(prog, paperNode(t))
+	if len(rl) != 17 {
+		t.Fatalf("stages = %d", len(rl))
+	}
+	for _, s := range rl {
+		if !s.MemoryBound {
+			t.Errorf("stage %s unexpectedly compute-bound (%.2f flops/B)", s.Name, s.IntensityOriginal)
+		}
+		if s.BytesOriginal != (countInputs(prog, s.Name)+1)*grid.CellBytes {
+			t.Errorf("stage %s byte count wrong", s.Name)
+		}
+	}
+}
+
+func countInputs(prog *stencil.Program, name string) int {
+	for i := range prog.Stages {
+		if prog.Stages[i].Name == name {
+			return len(prog.Stages[i].Inputs)
+		}
+	}
+	return -1
+}
+
+func TestRooflineBlockedCrossesBalance(t *testing.T) {
+	// Whole program: original intensity ~229/688 = 0.33 flops/B (deeply
+	// memory-bound); blocked intensity 229/144 = 1.59 — a 4.8x jump that
+	// makes the compute share dominant on the paper's socket.
+	prog := &mpdata.NewProgram().Program
+	tab := RooflineTable(prog, paperNode(t))
+	out := tab.Render()
+	if !strings.Contains(out, "TOTAL original") || !strings.Contains(out, "TOTAL blocked") {
+		t.Fatalf("roofline table incomplete:\n%s", out)
+	}
+	var orig, blocked float64
+	for _, r := range tab.Rows {
+		switch r.Label {
+		case "TOTAL original":
+			orig = r.Values[2]
+		case "TOTAL blocked":
+			blocked = r.Values[2]
+		}
+	}
+	if blocked < 4*orig {
+		t.Fatalf("blocked intensity %.2f should be >4x original %.2f", blocked, orig)
+	}
+}
+
+func TestWeakScalingFlat(t *testing.T) {
+	prog := &mpdata.NewProgram().Program
+	tab, err := WeakScalingTable(prog, 64, grid.Sz(0, 128, 16), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := tab.Rows[0].Values
+	// Weak scaling: the time must stay within a modest factor of P=1
+	// (constant per-island work; only sync and redundancy grow).
+	for p, tm := range times {
+		if ratio := tm / times[0]; ratio > 1.45 {
+			t.Fatalf("weak scaling degrades at P=%d: %.2fx of P=1", p+1, ratio)
+		}
+	}
+	// Sustained performance must grow with P.
+	g := tab.Rows[1].Values
+	for p := 1; p < len(g); p++ {
+		if g[p] <= g[p-1] {
+			t.Fatalf("weak-scaling Gflop/s must grow: %v", g)
+		}
+	}
+}
+
+func TestDomainSweepRedundancyFalls(t *testing.T) {
+	prog := &mpdata.NewProgram().Program
+	tab, err := DomainSweepTable(prog, 4, []int{64, 128, 256, 512}, grid.Sz(0, 128, 16), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extras := tab.Rows[1].Values
+	for i := 1; i < len(extras); i++ {
+		if extras[i] >= extras[i-1] {
+			t.Fatalf("redundancy must fall with domain width: %v", extras)
+		}
+	}
+}

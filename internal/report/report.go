@@ -1,0 +1,132 @@
+// Package report generates the full reproduction report: every paper table
+// with the published numbers interleaved, the ablation and extension tables,
+// and deviation summaries — the library behind cmd/experiments.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"islands/internal/decomp"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/perf"
+	"islands/internal/topology"
+)
+
+// Generate writes the markdown reproduction report for P = 1..maxP.
+func Generate(w io.Writer, maxP int) error {
+	if maxP < 1 || maxP > 14 {
+		return fmt.Errorf("report: maxP must be in 1..14, got %d", maxP)
+	}
+	prog := &mpdata.NewProgram().Program
+	domain := grid.Sz(1024, 512, 64)
+	sweep := perf.NewSweep(prog, domain, 50, maxP)
+
+	var genErr error
+	section := func(title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
+	table := func(t *perf.Table, err error) {
+		if genErr != nil {
+			return
+		}
+		if err != nil {
+			genErr = err
+			return
+		}
+		fmt.Fprintf(w, "```\n%s```\n", t.Render())
+	}
+
+	fmt.Fprintf(w, "# Reproduction report: Islands-of-Cores (PaCT 2017)\n\n")
+	fmt.Fprintf(w, "Generated on the simulated SGI UV 2000 ")
+	fmt.Fprintf(w, "(P = 1..%d), grid %v, 50 steps.\n", maxP, domain)
+
+	section("E1 — Table 1: original and (3+1)D execution times")
+	table(sweep.Table1WithPaper())
+
+	section("E2 — Table 2: redundant elements (mechanical)")
+	table(perf.Table2(prog, domain, maxP))
+
+	section("E3 — Table 3 / Fig. 2: the headline result")
+	t3, err := sweep.Table3WithPaper()
+	table(t3, err)
+	if genErr == nil {
+		var model []float64
+		for _, r := range t3.Rows {
+			if r.Label == "Islands of cores" {
+				model = r.Values
+			}
+		}
+		fmt.Fprintf(w, "Largest islands-row deviation vs paper: %.1f%%.\n",
+			100*perf.MaxRelErr(model, perf.PaperTable3Islands))
+	}
+
+	section("E4 — Table 4: sustained performance")
+	table(sweep.Table4())
+
+	section("E6 — mapping variant ablation")
+	table(sweep.VariantTable())
+
+	section("E7 — 2D island grids (§4.2 future work)")
+	table(sweep.Islands2DTable(maxP))
+
+	section("E8 — single-socket memory traffic (§3.2)")
+	table(perf.TrafficTable(prog))
+
+	section("E14 — weak scaling and domain sweep")
+	table(perf.WeakScalingTable(prog, 73, grid.Sz(0, 512, 64), 50, maxP))
+	table(perf.DomainSweepTable(prog, maxP, []int{256, 512, 1024, 2048}, grid.Sz(0, 512, 64), 50))
+
+	section("E15 — roofline")
+	m1, err := topology.UV2000(1)
+	if err != nil {
+		return err
+	}
+	table(perf.RooflineTable(prog, m1.Nodes[0]), nil)
+
+	section("E17 — affinity on a 2-IRU cluster (§4.2)")
+	table(perf.AffinityTable(prog, grid.Sz(512, 256, 32), 50))
+
+	section("E18 — core-time breakdown")
+	bp := maxP
+	if bp > 8 {
+		bp = 8
+	}
+	table(perf.BreakdownTable(prog, domain, bp, 50))
+
+	section(fmt.Sprintf("E9/E13 — sub-islands and MPDATA variants at P=%d", maxP))
+	mP, err := topology.UV2000(maxP)
+	if err != nil {
+		return err
+	}
+	vt := &perf.Table{Title: "Islands variants", ColHead: "configuration", Cols: []string{"time s", "extra %", "flops/cell"}}
+	addVariant := func(name string, o mpdata.Options, core bool) {
+		if genErr != nil {
+			return
+		}
+		kp, err := mpdata.NewProgramWithOptions(o)
+		if err != nil {
+			genErr = err
+			return
+		}
+		r, err := exec.Model(exec.Config{
+			Machine: mP, Strategy: exec.IslandsOfCores,
+			Placement: grid.FirstTouchParallel, Variant: decomp.VariantA,
+			CoreIslands: core, Steps: 50,
+		}, &kp.Program, domain)
+		if err != nil {
+			genErr = err
+			return
+		}
+		vt.AddRow(name, "%.2f", []float64{r.TotalTime, r.ExtraElementsPct, float64(kp.TotalFlopsPerCellStep())})
+	}
+	addVariant("paper (IORD=2, limited)", mpdata.DefaultOptions(), false)
+	addVariant("+ core sub-islands", mpdata.DefaultOptions(), true)
+	addVariant("IORD=2 unlimited", mpdata.Options{IORD: 2}, false)
+	addVariant("IORD=3 limited", mpdata.Options{IORD: 3, NonOscillatory: true}, false)
+	addVariant("IORD=1 (upwind)", mpdata.Options{IORD: 1}, false)
+	table(vt, nil)
+
+	fmt.Fprintf(w, "\nSee EXPERIMENTS.md for the per-experiment commentary and docs/MODEL.md for the model derivations.\n")
+	return genErr
+}

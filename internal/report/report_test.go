@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateSmallSweep(t *testing.T) {
+	var b strings.Builder
+	if err := Generate(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"E1 — Table 1",
+		"Original (paper)",
+		"E3 — Table 3",
+		"Islands (paper)",
+		"deviation vs paper",
+		"E15 — roofline",
+		"E18 — core-time breakdown",
+		"Islands variants",
+		"IORD=3 limited",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Every section renders a code block pair.
+	if opens := strings.Count(out, "```"); opens%2 != 0 || opens < 20 {
+		t.Fatalf("unbalanced or missing code fences: %d", opens)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	var b strings.Builder
+	if err := Generate(&b, 0); err == nil {
+		t.Fatal("expected error for maxP=0")
+	}
+	if err := Generate(&b, 15); err == nil {
+		t.Fatal("expected error for maxP=15")
+	}
+}

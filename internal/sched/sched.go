@@ -1,0 +1,195 @@
+// Package sched is the proprietary scheduler of the paper's §5: OpenMP is
+// used there only to create threads and control their affinity, while a
+// custom scheduler manages all parallel computations. Here, goroutines play
+// the role of threads; affinity is logical (core IDs mapped to the simulated
+// machine's NUMA nodes), because the Go runtime cannot pin OS threads to
+// cores — see DESIGN.md §2 for the substitution argument. The scheduler
+// provides work teams (one per island), SPMD dispatch within a team, and
+// machine-wide dispatch across teams.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"islands/internal/topology"
+)
+
+// Team is a fixed group of workers (one per core of an island) executing
+// SPMD regions. Run dispatches a function to every worker and joins — a
+// dispatch+join pair is the team barrier between stencil stages.
+type Team struct {
+	ID int
+	// Node is the NUMA node this team is bound to (logical affinity).
+	Node int
+	// Cores lists the global core IDs of the team's workers.
+	Cores []int
+
+	// work[w] delivers dispatches to worker w; per-worker channels
+	// guarantee every worker executes each SPMD region exactly once.
+	work []chan func(worker int)
+	wg   sync.WaitGroup
+	quit chan struct{}
+	once sync.Once
+	// panicked holds the first panic value recovered in a worker; Run
+	// re-panics with it on the dispatching goroutine, so a panicking
+	// kernel fails the caller instead of killing the process from an
+	// anonymous goroutine.
+	panicked atomic.Value
+}
+
+// NewTeam creates a team of n workers bound (logically) to the given node,
+// with global core IDs starting at firstCore.
+func NewTeam(id, node, n, firstCore int) *Team {
+	if n <= 0 {
+		panic("sched: team needs at least one worker")
+	}
+	t := &Team{
+		ID:   id,
+		Node: node,
+		quit: make(chan struct{}),
+	}
+	t.Cores = make([]int, n)
+	t.work = make([]chan func(worker int), n)
+	for w := 0; w < n; w++ {
+		t.Cores[w] = firstCore + w
+		t.work[w] = make(chan func(worker int), 1)
+	}
+	for w := 0; w < n; w++ {
+		go t.worker(w)
+	}
+	return t
+}
+
+// Size returns the number of workers.
+func (t *Team) Size() int { return len(t.Cores) }
+
+func (t *Team) worker(w int) {
+	for {
+		select {
+		case fn := <-t.work[w]:
+			t.runOne(fn, w)
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// runOne executes one dispatch, converting worker panics into a stored
+// value so the join can re-raise them.
+func (t *Team) runOne(fn func(worker int), w int) {
+	defer t.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked.CompareAndSwap(nil, fmt.Sprintf("sched: worker %d of team %d panicked: %v", w, t.ID, r))
+		}
+	}()
+	fn(w)
+}
+
+// Run executes fn(worker) on every worker and returns when all are done.
+// It must not be called concurrently on the same team. A panic in any
+// worker is re-raised here after the join; the team is considered poisoned
+// afterwards (shared state under a panicking parallel region is undefined)
+// and every later Run re-raises the same panic.
+func (t *Team) Run(fn func(worker int)) {
+	t.wg.Add(t.Size())
+	for w := 0; w < t.Size(); w++ {
+		t.work[w] <- fn
+	}
+	t.wg.Wait()
+	if p := t.panicked.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// Close terminates the team's workers. The team cannot be reused.
+func (t *Team) Close() {
+	t.once.Do(func() { close(t.quit) })
+}
+
+// Scheduler owns the machine's work teams: one team per NUMA node, with one
+// worker per core, mirroring the paper's islands-of-cores mapping where
+// neighbouring domain parts sit on adjacent processors.
+type Scheduler struct {
+	Teams []*Team
+}
+
+// New builds a scheduler for the given machine.
+func New(m *topology.Machine) *Scheduler {
+	s := &Scheduler{}
+	core := 0
+	for _, n := range m.Nodes {
+		s.Teams = append(s.Teams, NewTeam(n.ID, n.ID, n.Cores, core))
+		core += n.Cores
+	}
+	return s
+}
+
+// NewSized builds a scheduler of p teams with coresPer workers each, without
+// a machine description (used by tests and examples).
+func NewSized(p, coresPer int) *Scheduler {
+	if p <= 0 {
+		panic("sched: need at least one team")
+	}
+	s := &Scheduler{}
+	for i := 0; i < p; i++ {
+		s.Teams = append(s.Teams, NewTeam(i, i, coresPer, i*coresPer))
+	}
+	return s
+}
+
+// TotalCores returns the number of workers across all teams.
+func (s *Scheduler) TotalCores() int {
+	n := 0
+	for _, t := range s.Teams {
+		n += t.Size()
+	}
+	return n
+}
+
+// RunAll executes fn(team, worker) SPMD across every worker of every team
+// and joins — the machine-wide dispatch used by the original and pure
+// (3+1)D strategies, where all cores cooperate on the same region.
+func (s *Scheduler) RunAll(fn func(team, worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(len(s.Teams))
+	for _, t := range s.Teams {
+		t := t
+		go func() {
+			defer wg.Done()
+			t.Run(func(w int) { fn(t.ID, w) })
+		}()
+	}
+	wg.Wait()
+}
+
+// RunTeams executes one driver function per team concurrently and joins when
+// every driver returns — the island dispatch: each driver runs its island's
+// time-step phases independently, and the join is the paper's global
+// synchronization (phase 5).
+func (s *Scheduler) RunTeams(fn func(t *Team)) {
+	var wg sync.WaitGroup
+	wg.Add(len(s.Teams))
+	for _, t := range s.Teams {
+		t := t
+		go func() {
+			defer wg.Done()
+			fn(t)
+		}()
+	}
+	wg.Wait()
+}
+
+// Close terminates all teams.
+func (s *Scheduler) Close() {
+	for _, t := range s.Teams {
+		t.Close()
+	}
+}
+
+// String describes the team layout.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("scheduler{%d teams, %d cores}", len(s.Teams), s.TotalCores())
+}

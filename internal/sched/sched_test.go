@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"islands/internal/topology"
+)
+
+func TestTeamRunVisitsEveryWorker(t *testing.T) {
+	team := NewTeam(0, 0, 8, 0)
+	defer team.Close()
+	var seen [8]int32
+	team.Run(func(w int) { atomic.AddInt32(&seen[w], 1) })
+	for w, c := range seen {
+		if c != 1 {
+			t.Fatalf("worker %d ran %d times, want 1", w, c)
+		}
+	}
+}
+
+func TestTeamRunIsABarrier(t *testing.T) {
+	team := NewTeam(0, 0, 4, 0)
+	defer team.Close()
+	var counter int64
+	for round := 0; round < 10; round++ {
+		team.Run(func(w int) { atomic.AddInt64(&counter, 1) })
+		// After Run returns, all 4 increments of this round are visible.
+		if got := atomic.LoadInt64(&counter); got != int64(4*(round+1)) {
+			t.Fatalf("round %d: counter = %d, want %d", round, got, 4*(round+1))
+		}
+	}
+}
+
+func TestTeamCores(t *testing.T) {
+	team := NewTeam(2, 3, 4, 12)
+	defer team.Close()
+	if team.Node != 3 || team.Size() != 4 {
+		t.Fatalf("team metadata wrong: %+v", team)
+	}
+	for w, c := range team.Cores {
+		if c != 12+w {
+			t.Fatalf("core[%d] = %d, want %d", w, c, 12+w)
+		}
+	}
+}
+
+func TestSchedulerFromMachine(t *testing.T) {
+	m, err := topology.UV2000(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m)
+	defer s.Close()
+	if len(s.Teams) != 3 || s.TotalCores() != 24 {
+		t.Fatalf("scheduler layout wrong: %s", s)
+	}
+	// Core IDs are contiguous per node, matching topology.CoreNode.
+	for _, team := range s.Teams {
+		for _, c := range team.Cores {
+			if m.CoreNode(c) != team.Node {
+				t.Fatalf("core %d of team %d maps to node %d", c, team.ID, m.CoreNode(c))
+			}
+		}
+	}
+}
+
+func TestRunAllCoversAllWorkers(t *testing.T) {
+	s := NewSized(3, 4)
+	defer s.Close()
+	var mu sync.Mutex
+	seen := map[[2]int]int{}
+	s.RunAll(func(team, worker int) {
+		mu.Lock()
+		seen[[2]int{team, worker}]++
+		mu.Unlock()
+	})
+	if len(seen) != 12 {
+		t.Fatalf("saw %d (team,worker) pairs, want 12", len(seen))
+	}
+	for k, v := range seen {
+		if v != 1 {
+			t.Fatalf("pair %v ran %d times", k, v)
+		}
+	}
+}
+
+func TestRunTeamsIndependentProgress(t *testing.T) {
+	s := NewSized(4, 2)
+	defer s.Close()
+	var rounds [4]int32
+	s.RunTeams(func(team *Team) {
+		// Each team runs a different number of internal barriers —
+		// teams must not block each other.
+		for r := 0; r <= team.ID; r++ {
+			team.Run(func(w int) {
+				if w == 0 {
+					atomic.AddInt32(&rounds[team.ID], 1)
+				}
+			})
+		}
+	})
+	for id, r := range rounds {
+		if int(r) != id+1 {
+			t.Fatalf("team %d did %d rounds, want %d", id, r, id+1)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	team := NewTeam(0, 0, 2, 0)
+	team.Close()
+	team.Close() // must not panic
+}
+
+func TestNewTeamPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTeam(0, 0, 0, 0)
+}
+
+func TestNewSizedPanicsOnZeroTeams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSized(0, 1)
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	team := NewTeam(0, 0, 4, 0)
+	defer team.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the worker panic to reach the dispatcher")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "panicked: boom") {
+			t.Fatalf("panic payload = %v", r)
+		}
+	}()
+	team.Run(func(w int) {
+		if w == 2 {
+			panic("boom")
+		}
+	})
+}

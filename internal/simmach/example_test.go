@@ -1,0 +1,26 @@
+package simmach_test
+
+import (
+	"fmt"
+
+	"islands/internal/simmach"
+)
+
+// Example prices two cores sharing one memory controller: the small
+// transfer finishes first at the fair share, then the big one speeds up.
+func Example() {
+	sim := simmach.New()
+	mem := sim.AddResource("mem", 10) // 10 GB/s
+	a := sim.AddProc("a")
+	b := sim.AddProc("b")
+	a.Add(simmach.Item{Flows: []simmach.Flow{{Demand: 10, Resources: []int{mem}}}})
+	b.Add(simmach.Item{Flows: []simmach.Flow{{Demand: 30, Resources: []int{mem}}}})
+	res, err := sim.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("a done at %.0fs, b at %.0fs, makespan %.0fs\n",
+		res.ProcEnd[0], res.ProcEnd[1], res.Makespan)
+	// Output:
+	// a done at 2s, b at 4s, makespan 4s
+}

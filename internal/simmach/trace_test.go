@@ -1,0 +1,116 @@
+package simmach
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	s := New()
+	r := s.AddResource("mem", 10)
+	p := s.AddProc("p")
+	p.Add(Item{Tag: "w", Flows: []Flow{{Demand: 10, Resources: []int{r}}}})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace() != nil {
+		t.Fatal("trace must be nil when disabled")
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	s := New()
+	s.EnableTrace()
+	r := s.AddResource("mem", 10)
+	p := s.AddProc("p")
+	p.Add(
+		Item{Tag: "fill", Flows: []Flow{{Demand: 10, Resources: []int{r}}}}, // 1s
+		Item{Tag: "compute", Delay: 2},
+	)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Trace()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[0].Tag != "fill" || math.Abs(ev[0].Start) > 1e-12 || math.Abs(ev[0].End-1) > 1e-9 {
+		t.Fatalf("fill event wrong: %+v", ev[0])
+	}
+	if ev[1].Tag != "compute" || math.Abs(ev[1].Start-1) > 1e-9 || math.Abs(ev[1].End-3) > 1e-9 {
+		t.Fatalf("compute event wrong: %+v", ev[1])
+	}
+	tags := s.TagTimes()
+	if math.Abs(tags["fill"]-1) > 1e-9 || math.Abs(tags["compute"]-2) > 1e-9 {
+		t.Fatalf("tag times wrong: %v", tags)
+	}
+	if res.Makespan < 3-1e-9 {
+		t.Fatalf("makespan %v", res.Makespan)
+	}
+}
+
+func TestTraceIncludesBarrierWait(t *testing.T) {
+	s := New()
+	s.EnableTrace()
+	b := s.NewBarrier(2, 0)
+	fast := s.AddProc("fast")
+	slow := s.AddProc("slow")
+	fast.Add(Item{Tag: "join", Delay: 1, Barrier: b})
+	slow.Add(Item{Tag: "join", Delay: 3, Barrier: b})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Trace() {
+		if e.Proc == 0 && math.Abs(e.End-3) > 1e-9 {
+			t.Fatalf("fast proc's item must span its barrier wait: %+v", e)
+		}
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	s := New()
+	s.EnableTrace()
+	r := s.AddResource("mem", 10)
+	a := s.AddProc("a")
+	bproc := s.AddProc("b")
+	a.Add(Item{Tag: "fill", Flows: []Flow{{Demand: 20, Resources: []int{r}}}})
+	bproc.Add(Item{Tag: "x", Delay: 1})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Timeline(res, 20)
+	if !strings.Contains(out, "timeline") || !strings.Contains(out, "fill") {
+		t.Fatalf("timeline missing parts:\n%s", out)
+	}
+	// Proc a is busy the whole run: its row is all 'f'.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "a ") {
+			row := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if strings.Contains(row, ".") {
+				t.Fatalf("proc a should be fully busy: %q", row)
+			}
+		}
+	}
+	if s.Timeline(res, 0) != "" {
+		t.Fatal("zero-width timeline must be empty")
+	}
+}
+
+func TestTraceRepeatedItems(t *testing.T) {
+	s := New()
+	s.EnableTrace()
+	p := s.AddProc("p")
+	p.Add(Item{Tag: "loop", Delay: 0.5, Repeat: 3})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Trace()); got != 4 {
+		t.Fatalf("repeated item events = %d, want 4", got)
+	}
+	if tt := s.TagTimes()["loop"]; math.Abs(tt-2) > 1e-9 {
+		t.Fatalf("loop busy time = %v, want 2", tt)
+	}
+}

@@ -1,0 +1,140 @@
+package stencil
+
+import (
+	"fmt"
+
+	"islands/internal/grid"
+)
+
+// Kernel computes one stage's output over a region, reading producer fields
+// from the environment. Kernels must write exactly the cells of r in the
+// stage's own output field and read only at the stage's declared offsets —
+// tests cross-check declared patterns against actual behaviour.
+type Kernel func(env *Env, r grid.Region)
+
+// KernelStage pairs a Stage description with its executable kernel.
+type KernelStage struct {
+	Stage
+	Kernel Kernel
+}
+
+// KernelProgram is a Program whose stages carry executable kernels.
+type KernelProgram struct {
+	Program
+	Kernels []Kernel // parallel to Program.Stages
+}
+
+// BuildProgram assembles a KernelProgram from kernel stages.
+func BuildProgram(name string, stepInputs []string, output string, stages []KernelStage) (*KernelProgram, error) {
+	kp := &KernelProgram{
+		Program: Program{Name: name, StepInputs: stepInputs, Output: output},
+	}
+	for _, ks := range stages {
+		kp.Stages = append(kp.Stages, ks.Stage)
+		kp.Kernels = append(kp.Kernels, ks.Kernel)
+	}
+	if err := kp.Validate(); err != nil {
+		return nil, err
+	}
+	for i, k := range kp.Kernels {
+		if k == nil {
+			return nil, fmt.Errorf("stencil: stage %q has no kernel", kp.Stages[i].Name)
+		}
+	}
+	return kp, nil
+}
+
+// Boundary selects how reads outside the domain are resolved.
+type Boundary int
+
+const (
+	// Periodic wraps indices around the domain (torus), convenient for
+	// numerical validation against exact translated solutions.
+	Periodic Boundary = iota
+	// Clamp replicates the boundary cell (zero-gradient), matching the
+	// physical open boundaries of production MPDATA grids; the paper's
+	// redundant-element accounting (Table 2) assumes this: islands at
+	// domain edges have no halo beyond the boundary.
+	Clamp
+)
+
+// Env holds the named fields a program executes against: the step inputs and
+// one full-domain output field per stage. Indexing helpers implement the
+// selected boundary condition (Periodic by default).
+type Env struct {
+	Domain grid.Size
+	BC     Boundary
+	fields map[string]*grid.Field
+}
+
+// NewEnv creates an execution environment for prog on the given domain,
+// binding the provided step-input fields and allocating stage outputs.
+func NewEnv(prog *Program, domain grid.Size, inputs map[string]*grid.Field) (*Env, error) {
+	env := &Env{Domain: domain, fields: make(map[string]*grid.Field)}
+	for _, name := range prog.StepInputs {
+		f, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("stencil: missing step input %q", name)
+		}
+		if f.Size != domain {
+			return nil, fmt.Errorf("stencil: input %q has size %v, want %v", name, f.Size, domain)
+		}
+		env.fields[name] = f
+	}
+	for i := range prog.Stages {
+		name := prog.Stages[i].Name
+		env.fields[name] = grid.NewField(name, domain)
+	}
+	return env, nil
+}
+
+// Field returns the named field, panicking on unknown names (a programming
+// error in a kernel).
+func (e *Env) Field(name string) *grid.Field {
+	f, ok := e.fields[name]
+	if !ok {
+		panic(fmt.Sprintf("stencil: unknown field %q", name))
+	}
+	return f
+}
+
+// Wrap returns idx wrapped periodically into [0, n).
+func Wrap(idx, n int) int {
+	idx %= n
+	if idx < 0 {
+		idx += n
+	}
+	return idx
+}
+
+// ClampIdx returns idx clamped into [0, n).
+func ClampIdx(idx, n int) int {
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}
+
+// AtP reads field f at (i,j,k), resolving out-of-domain indices with the
+// environment's boundary condition.
+func (e *Env) AtP(f *grid.Field, i, j, k int) float64 {
+	if e.BC == Periodic {
+		if i < 0 || i >= e.Domain.NI {
+			i = Wrap(i, e.Domain.NI)
+		}
+		if j < 0 || j >= e.Domain.NJ {
+			j = Wrap(j, e.Domain.NJ)
+		}
+		if k < 0 || k >= e.Domain.NK {
+			k = Wrap(k, e.Domain.NK)
+		}
+	} else {
+		i = ClampIdx(i, e.Domain.NI)
+		j = ClampIdx(j, e.Domain.NJ)
+		k = ClampIdx(k, e.Domain.NK)
+	}
+	return f.At(i, j, k)
+}

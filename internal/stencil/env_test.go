@@ -1,0 +1,99 @@
+package stencil
+
+import (
+	"testing"
+
+	"islands/internal/grid"
+)
+
+func TestClampIdx(t *testing.T) {
+	cases := []struct{ idx, n, want int }{
+		{0, 5, 0}, {4, 5, 4}, {5, 5, 4}, {9, 5, 4}, {-1, 5, 0}, {-7, 5, 0},
+	}
+	for _, c := range cases {
+		if got := ClampIdx(c.idx, c.n); got != c.want {
+			t.Errorf("ClampIdx(%d,%d) = %d, want %d", c.idx, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAtPBoundaryModes(t *testing.T) {
+	domain := grid.Sz(4, 4, 4)
+	f := grid.NewField("f", domain)
+	f.FillFunc(func(i, j, k int) float64 { return float64(i*100 + j*10 + k) })
+
+	periodic := &Env{Domain: domain, BC: Periodic}
+	clamp := &Env{Domain: domain, BC: Clamp}
+
+	// Out-of-range on the high side.
+	if got := periodic.AtP(f, 4, 1, 1); got != f.At(0, 1, 1) {
+		t.Fatalf("periodic high: got %v", got)
+	}
+	if got := clamp.AtP(f, 4, 1, 1); got != f.At(3, 1, 1) {
+		t.Fatalf("clamp high: got %v", got)
+	}
+	// Out-of-range on the low side, different dimension.
+	if got := periodic.AtP(f, 1, -1, 1); got != f.At(1, 3, 1) {
+		t.Fatalf("periodic low: got %v", got)
+	}
+	if got := clamp.AtP(f, 1, -1, 1); got != f.At(1, 0, 1) {
+		t.Fatalf("clamp low: got %v", got)
+	}
+	// In-range reads agree in both modes.
+	if periodic.AtP(f, 2, 3, 1) != clamp.AtP(f, 2, 3, 1) {
+		t.Fatal("in-range reads must not depend on boundary mode")
+	}
+	// Far out-of-range clamp in k.
+	if got := clamp.AtP(f, 1, 1, 99); got != f.At(1, 1, 3) {
+		t.Fatalf("clamp far k: got %v", got)
+	}
+}
+
+func TestFieldPanicsOnUnknownName(t *testing.T) {
+	kp := Fig1Program()
+	domain := grid.Sz(4, 1, 1)
+	in := grid.NewField("in", domain)
+	env, err := NewEnv(&kp.Program, domain, map[string]*grid.Field{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown field")
+		}
+	}()
+	env.Field("nonexistent")
+}
+
+func TestClampBoundaryProgramRun(t *testing.T) {
+	// Under clamp boundaries the Fig 1 program must use edge replication:
+	// verify C(0) by hand.
+	kp := Fig1Program()
+	domain := grid.Sz(8, 1, 1)
+	in := grid.NewField("in", domain)
+	in.FillFunc(func(i, j, k int) float64 { return float64(i) })
+	env, err := NewEnv(&kp.Program, domain, map[string]*grid.Field{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.BC = Clamp
+	whole := grid.WholeRegion(domain)
+	for _, k := range kp.Kernels {
+		k(env, whole)
+	}
+	a := func(i int) float64 {
+		lo, hi := ClampIdx(i, 8), ClampIdx(i+1, 8)
+		return (in.At(lo, 0, 0) + in.At(hi, 0, 0)) / 2
+	}
+	b := func(i int) float64 {
+		return (a(clampI(i-1)) + a(clampI(i)) + a(clampI(i+1))) / 3
+	}
+	want := (b(clampI(-1)) + b(0)) / 2
+	if got := env.Field("C").At(0, 0, 0); got != want {
+		t.Fatalf("C(0) = %v, want %v", got, want)
+	}
+}
+
+// clampI clamps into the test domain's i range; kernels clamp the *read
+// index*, so stage values at clamped positions equal the edge value.
+func clampI(i int) int { return ClampIdx(i, 8) }

@@ -1,0 +1,31 @@
+package stencil_test
+
+import (
+	"fmt"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// ExampleAnalyze shows the backward halo analysis on the paper's Fig. 1
+// program: to finish a time step independently, an island must compute
+// earlier stages on progressively wider trapezoids.
+func ExampleAnalyze() {
+	prog := &stencil.Fig1Program().Program
+	h, err := stencil.Analyze(prog)
+	if err != nil {
+		panic(err)
+	}
+	island := grid.Box(40, 60, 0, 1, 0, 1)
+	domain := grid.Sz(100, 1, 1)
+	for s := range prog.Stages {
+		r := h.StageRegion(s, island, domain)
+		fmt.Printf("%s on i=[%d,%d)\n", prog.Stages[s].Name, r.I0, r.I1)
+	}
+	fmt.Printf("extra cells: %d\n", h.ExtraCells(island, domain))
+	// Output:
+	// A on i=[38,61)
+	// B on i=[39,60)
+	// C on i=[40,60)
+	// extra cells: 4
+}

@@ -1,0 +1,58 @@
+package stencil
+
+import "islands/internal/grid"
+
+// InteriorSplit cuts a region into the interior — where every read within
+// the extent stays inside the domain, so kernels may use unchecked flat
+// indexing — and the remaining boundary shell, where reads must go through
+// the boundary-condition helper. The returned pieces are disjoint and tile r
+// exactly.
+func InteriorSplit(r grid.Region, e Extent, domain grid.Size) (interior grid.Region, border []grid.Region) {
+	r = r.Clamp(domain)
+	if r.Empty() {
+		return grid.Region{}, nil
+	}
+	interior = grid.Region{
+		I0: max(r.I0, e.ILo), I1: min(r.I1, domain.NI-e.IHi),
+		J0: max(r.J0, e.JLo), J1: min(r.J1, domain.NJ-e.JHi),
+		K0: max(r.K0, e.KLo), K1: min(r.K1, domain.NK-e.KHi),
+	}
+	if interior.Empty() {
+		return grid.Region{}, []grid.Region{r}
+	}
+	// Shell pieces: slabs below/above the interior in i, then j, then k.
+	add := func(piece grid.Region) {
+		if !piece.Empty() {
+			border = append(border, piece)
+		}
+	}
+	add(grid.Region{I0: r.I0, I1: interior.I0, J0: r.J0, J1: r.J1, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: interior.I1, I1: r.I1, J0: r.J0, J1: r.J1, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: interior.I0, I1: interior.I1, J0: r.J0, J1: interior.J0, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: interior.I0, I1: interior.I1, J0: interior.J1, J1: r.J1, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: interior.I0, I1: interior.I1, J0: interior.J0, J1: interior.J1, K0: r.K0, K1: interior.K0})
+	add(grid.Region{I0: interior.I0, I1: interior.I1, J0: interior.J0, J1: interior.J1, K0: interior.K1, K1: r.K1})
+	return interior, border
+}
+
+// ForEachRow visits the region row by row: fn receives (i, j) and the flat
+// index of cell (i, j, r.K0); the caller iterates k itself over
+// [base, base + (r.K1-r.K0)). This removes per-cell index arithmetic and
+// closure calls from kernel inner loops.
+func ForEachRow(domain grid.Size, r grid.Region, fn func(i, j, base int)) {
+	for i := r.I0; i < r.I1; i++ {
+		for j := r.J0; j < r.J1; j++ {
+			fn(i, j, (i*domain.NJ+j)*domain.NK+r.K0)
+		}
+	}
+}
+
+// Strides returns the flat-index displacements of one step in i, j and k.
+func Strides(domain grid.Size) (si, sj, sk int) {
+	return domain.NJ * domain.NK, domain.NK, 1
+}
+
+// OffsetStride converts an offset to a flat-index displacement.
+func OffsetStride(domain grid.Size, o Offset) int {
+	return (o.DI*domain.NJ+o.DJ)*domain.NK + o.DK
+}

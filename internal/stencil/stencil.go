@@ -1,0 +1,291 @@
+// Package stencil models heterogeneous stencil programs: ordered sequences
+// of stages with distinct access patterns and data dependencies, as found in
+// MPDATA. Its centerpiece is the backward halo (dependency) analysis that
+// determines which region of every stage an "island" must compute to finish
+// a time step without communicating — the overlapped-tiling trapezoids of
+// the islands-of-cores approach, and the source of the paper's Table 2
+// extra-element counts.
+package stencil
+
+import (
+	"fmt"
+
+	"islands/internal/grid"
+)
+
+// Offset is a relative grid displacement read by a stencil.
+type Offset struct {
+	DI, DJ, DK int
+}
+
+func (o Offset) String() string { return fmt.Sprintf("(%d,%d,%d)", o.DI, o.DJ, o.DK) }
+
+// Input names one producer (a step input array or an earlier stage) and the
+// set of offsets at which a stage reads it.
+type Input struct {
+	From    string
+	Offsets []Offset
+}
+
+// Stage is one step of a heterogeneous stencil program. Executing a stage
+// over a region computes its output at every cell of the region, reading
+// each input at the declared offsets.
+type Stage struct {
+	Name   string
+	Inputs []Input
+	// Flops is the number of floating-point operations per output cell,
+	// counted mechanically from the kernel definition.
+	Flops int
+}
+
+// Reads returns the offsets at which the stage reads producer from, or nil.
+func (s *Stage) Reads(from string) []Offset {
+	for _, in := range s.Inputs {
+		if in.From == from {
+			return in.Offsets
+		}
+	}
+	return nil
+}
+
+// Program is a topologically ordered heterogeneous stencil program: every
+// stage may read the step inputs and the outputs of strictly earlier stages.
+type Program struct {
+	Name string
+	// StepInputs are external arrays, read-only within a time step.
+	StepInputs []string
+	Stages     []Stage
+	// Output is the name of the stage whose result is the step's output.
+	Output string
+}
+
+// StageIndex returns the position of the named stage, or -1.
+func (p *Program) StageIndex(name string) int {
+	for i := range p.Stages {
+		if p.Stages[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsStepInput reports whether name is one of the program's external inputs.
+func (p *Program) IsStepInput(name string) bool {
+	for _, in := range p.StepInputs {
+		if in == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants: unique names, inputs referring only
+// to step inputs or earlier stages, a valid output stage, positive flop
+// counts, and at least one offset per input.
+func (p *Program) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("stencil: program %q has no stages", p.Name)
+	}
+	seen := make(map[string]bool, len(p.StepInputs)+len(p.Stages))
+	for _, in := range p.StepInputs {
+		if seen[in] {
+			return fmt.Errorf("stencil: duplicate step input %q", in)
+		}
+		seen[in] = true
+	}
+	for si := range p.Stages {
+		st := &p.Stages[si]
+		if st.Name == "" {
+			return fmt.Errorf("stencil: stage %d is unnamed", si)
+		}
+		if seen[st.Name] {
+			return fmt.Errorf("stencil: duplicate name %q", st.Name)
+		}
+		if st.Flops <= 0 {
+			return fmt.Errorf("stencil: stage %q has non-positive flop count", st.Name)
+		}
+		if len(st.Inputs) == 0 {
+			return fmt.Errorf("stencil: stage %q reads nothing", st.Name)
+		}
+		for _, in := range st.Inputs {
+			if !seen[in.From] {
+				return fmt.Errorf("stencil: stage %q reads %q, which is not a step input or earlier stage", st.Name, in.From)
+			}
+			if len(in.Offsets) == 0 {
+				return fmt.Errorf("stencil: stage %q reads %q at no offsets", st.Name, in.From)
+			}
+		}
+		seen[st.Name] = true
+	}
+	if p.StageIndex(p.Output) < 0 {
+		return fmt.Errorf("stencil: output %q is not a stage", p.Output)
+	}
+	return nil
+}
+
+// Extent is a per-face halo requirement: how far beyond a target region a
+// producer must be available (all values >= 0).
+type Extent struct {
+	ILo, IHi int
+	JLo, JHi int
+	KLo, KHi int
+}
+
+// Max returns the component-wise maximum of two extents.
+func (e Extent) Max(o Extent) Extent {
+	return Extent{
+		max(e.ILo, o.ILo), max(e.IHi, o.IHi),
+		max(e.JLo, o.JLo), max(e.JHi, o.JHi),
+		max(e.KLo, o.KLo), max(e.KHi, o.KHi),
+	}
+}
+
+// Add composes two extents (halo of a halo).
+func (e Extent) Add(o Extent) Extent {
+	return Extent{
+		e.ILo + o.ILo, e.IHi + o.IHi,
+		e.JLo + o.JLo, e.JHi + o.JHi,
+		e.KLo + o.KLo, e.KHi + o.KHi,
+	}
+}
+
+// IsZero reports whether the extent requires no halo.
+func (e Extent) IsZero() bool { return e == Extent{} }
+
+// Apply grows region r by the extent.
+func (e Extent) Apply(r grid.Region) grid.Region {
+	return r.Grow(e.ILo, e.IHi, e.JLo, e.JHi, e.KLo, e.KHi)
+}
+
+func (e Extent) String() string {
+	return fmt.Sprintf("i[-%d,+%d] j[-%d,+%d] k[-%d,+%d]", e.ILo, e.IHi, e.JLo, e.JHi, e.KLo, e.KHi)
+}
+
+// OffsetsExtent returns the extent induced by a set of read offsets: to
+// compute a region R of the consumer, the producer is needed on R grown by
+// this extent.
+func OffsetsExtent(offs []Offset) Extent {
+	var e Extent
+	for _, o := range offs {
+		if -o.DI > e.ILo {
+			e.ILo = -o.DI
+		}
+		if o.DI > e.IHi {
+			e.IHi = o.DI
+		}
+		if -o.DJ > e.JLo {
+			e.JLo = -o.DJ
+		}
+		if o.DJ > e.JHi {
+			e.JHi = o.DJ
+		}
+		if -o.DK > e.KLo {
+			e.KLo = -o.DK
+		}
+		if o.DK > e.KHi {
+			e.KHi = o.DK
+		}
+	}
+	return e
+}
+
+// HaloAnalysis holds the result of the backward dependency analysis: for a
+// program whose final output must be produced on some target region R, stage
+// s must be computed on R grown by StageExtents[s], and step input a must be
+// available on R grown by InputExtents[a].
+type HaloAnalysis struct {
+	Program *Program
+	// StageExtents[s] is the halo extent of stage s relative to the
+	// output region.
+	StageExtents []Extent
+	// InputExtents maps each step input to its required extent.
+	InputExtents map[string]Extent
+}
+
+// Analyze performs the backward halo analysis. It assumes (and Validate
+// enforces) that stages are topologically ordered.
+func Analyze(p *Program) (*HaloAnalysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	h := &HaloAnalysis{
+		Program:      p,
+		StageExtents: make([]Extent, len(p.Stages)),
+		InputExtents: make(map[string]Extent, len(p.StepInputs)),
+	}
+	needed := make([]bool, len(p.Stages))
+	out := p.StageIndex(p.Output)
+	needed[out] = true // extent zero: the output stage is computed exactly on R
+
+	for si := len(p.Stages) - 1; si >= 0; si-- {
+		if !needed[si] {
+			continue
+		}
+		st := &p.Stages[si]
+		base := h.StageExtents[si]
+		for _, in := range st.Inputs {
+			req := base.Add(OffsetsExtent(in.Offsets))
+			if pi := p.StageIndex(in.From); pi >= 0 {
+				if pi >= si {
+					return nil, fmt.Errorf("stencil: stage %q reads non-earlier stage %q", st.Name, in.From)
+				}
+				h.StageExtents[pi] = h.StageExtents[pi].Max(req)
+				needed[pi] = true
+			} else {
+				h.InputExtents[in.From] = h.InputExtents[in.From].Max(req)
+			}
+		}
+	}
+	for si := range p.Stages {
+		if !needed[si] && si != out {
+			return nil, fmt.Errorf("stencil: stage %q is dead (never contributes to output %q)", p.Stages[si].Name, p.Output)
+		}
+	}
+	return h, nil
+}
+
+// StageRegion returns the region on which stage s must be computed so that
+// the program output covers target, clamped to the physical domain. Clamping
+// reflects that domain boundaries use boundary conditions, not halo data —
+// the paper, likewise, counts redundant elements only at interior island
+// boundaries.
+func (h *HaloAnalysis) StageRegion(s int, target grid.Region, domain grid.Size) grid.Region {
+	return h.StageExtents[s].Apply(target).Clamp(domain)
+}
+
+// InputRegion returns the region of step input name required for target.
+func (h *HaloAnalysis) InputRegion(name string, target grid.Region, domain grid.Size) grid.Region {
+	e, ok := h.InputExtents[name]
+	if !ok {
+		return grid.Region{}
+	}
+	return e.Apply(target).Clamp(domain)
+}
+
+// ExtraCells returns the number of redundant cells an island covering target
+// computes beyond its own share, summed over all stages, when it must finish
+// the whole program independently (scenario 2 of the paper).
+func (h *HaloAnalysis) ExtraCells(target grid.Region, domain grid.Size) int64 {
+	var extra int64
+	for s := range h.Program.Stages {
+		r := h.StageRegion(s, target, domain)
+		extra += int64(r.Cells() - target.Clamp(domain).Cells())
+	}
+	return extra
+}
+
+// TotalCells returns the baseline cell count of the program over the domain:
+// each stage computed exactly once per cell.
+func (h *HaloAnalysis) TotalCells(domain grid.Size) int64 {
+	return int64(len(h.Program.Stages)) * int64(domain.Cells())
+}
+
+// TotalFlopsPerCellStep returns the per-cell flop count of one full program
+// execution (one time step), summed over stages.
+func (p *Program) TotalFlopsPerCellStep() int64 {
+	var f int64
+	for i := range p.Stages {
+		f += int64(p.Stages[i].Flops)
+	}
+	return f
+}

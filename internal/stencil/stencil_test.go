@@ -1,0 +1,397 @@
+package stencil
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"islands/internal/grid"
+)
+
+func TestOffsetsExtent(t *testing.T) {
+	offs := []Offset{{0, 0, 0}, {1, 0, 0}, {-2, 3, 0}, {0, 0, -1}}
+	got := OffsetsExtent(offs)
+	want := Extent{ILo: 2, IHi: 1, JLo: 0, JHi: 3, KLo: 1, KHi: 0}
+	if got != want {
+		t.Fatalf("OffsetsExtent = %v, want %v", got, want)
+	}
+	if !OffsetsExtent([]Offset{{0, 0, 0}}).IsZero() {
+		t.Fatal("center-only offsets must have zero extent")
+	}
+}
+
+func TestExtentMaxAdd(t *testing.T) {
+	a := Extent{1, 0, 2, 0, 0, 1}
+	b := Extent{0, 3, 1, 1, 0, 0}
+	if got := a.Max(b); got != (Extent{1, 3, 2, 1, 0, 1}) {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := a.Add(b); got != (Extent{1, 3, 3, 1, 0, 1}) {
+		t.Fatalf("Add = %v", got)
+	}
+}
+
+func TestExtentApply(t *testing.T) {
+	e := Extent{1, 2, 0, 0, 3, 0}
+	r := grid.Box(5, 10, 5, 10, 5, 10)
+	got := e.Apply(r)
+	want := grid.Box(4, 12, 5, 10, 2, 10)
+	if got != want {
+		t.Fatalf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	ok := Stage{Name: "s1", Inputs: []Input{{From: "in", Offsets: []Offset{{0, 0, 0}}}}, Flops: 1}
+	cases := []struct {
+		name string
+		prog Program
+		want string
+	}{
+		{
+			name: "no stages",
+			prog: Program{Name: "p", StepInputs: []string{"in"}},
+			want: "no stages",
+		},
+		{
+			name: "duplicate input",
+			prog: Program{Name: "p", StepInputs: []string{"in", "in"}, Stages: []Stage{ok}, Output: "s1"},
+			want: "duplicate step input",
+		},
+		{
+			name: "duplicate stage name",
+			prog: Program{Name: "p", StepInputs: []string{"in"}, Stages: []Stage{ok, ok}, Output: "s1"},
+			want: "duplicate name",
+		},
+		{
+			name: "unknown producer",
+			prog: Program{Name: "p", StepInputs: []string{"in"}, Stages: []Stage{
+				{Name: "s1", Inputs: []Input{{From: "ghost", Offsets: []Offset{{0, 0, 0}}}}, Flops: 1},
+			}, Output: "s1"},
+			want: "not a step input or earlier stage",
+		},
+		{
+			name: "zero flops",
+			prog: Program{Name: "p", StepInputs: []string{"in"}, Stages: []Stage{
+				{Name: "s1", Inputs: []Input{{From: "in", Offsets: []Offset{{0, 0, 0}}}}},
+			}, Output: "s1"},
+			want: "non-positive flop count",
+		},
+		{
+			name: "no offsets",
+			prog: Program{Name: "p", StepInputs: []string{"in"}, Stages: []Stage{
+				{Name: "s1", Inputs: []Input{{From: "in"}}, Flops: 1},
+			}, Output: "s1"},
+			want: "at no offsets",
+		},
+		{
+			name: "bad output",
+			prog: Program{Name: "p", StepInputs: []string{"in"}, Stages: []Stage{ok}, Output: "nope"},
+			want: "not a stage",
+		},
+		{
+			name: "reads nothing",
+			prog: Program{Name: "p", StepInputs: []string{"in"}, Stages: []Stage{
+				{Name: "s1", Flops: 1},
+			}, Output: "s1"},
+			want: "reads nothing",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.prog.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	// in --{0,+1}--> A --{-1,0,+1}--> B --{-1,0}--> C (the Fig 1 program).
+	prog := &Fig1Program().Program
+	h, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backward: C needs zero halo; B needs [-1,0] relative to C's region;
+	// A needs B's extent + [-1,+1] = [-2,+1]; in needs A's + [0,+1] = [-2,+2].
+	wantC := Extent{}
+	wantB := Extent{ILo: 1, IHi: 0}
+	wantA := Extent{ILo: 2, IHi: 1}
+	wantIn := Extent{ILo: 2, IHi: 2}
+	if got := h.StageExtents[prog.StageIndex("C")]; got != wantC {
+		t.Errorf("extent(C) = %v, want %v", got, wantC)
+	}
+	if got := h.StageExtents[prog.StageIndex("B")]; got != wantB {
+		t.Errorf("extent(B) = %v, want %v", got, wantB)
+	}
+	if got := h.StageExtents[prog.StageIndex("A")]; got != wantA {
+		t.Errorf("extent(A) = %v, want %v", got, wantA)
+	}
+	if got := h.InputExtents["in"]; got != wantIn {
+		t.Errorf("extent(in) = %v, want %v", got, wantIn)
+	}
+}
+
+func TestAnalyzeDiamond(t *testing.T) {
+	// Two consumers of the same producer: extents must take the max.
+	prog := &Program{
+		Name:       "diamond",
+		StepInputs: []string{"in"},
+		Stages: []Stage{
+			{Name: "a", Inputs: []Input{{From: "in", Offsets: []Offset{{0, 0, 0}}}}, Flops: 1},
+			{Name: "b", Inputs: []Input{{From: "a", Offsets: []Offset{{-3, 0, 0}, {0, 0, 0}}}}, Flops: 1},
+			{Name: "c", Inputs: []Input{{From: "a", Offsets: []Offset{{0, 0, 0}, {1, 0, 0}}}}, Flops: 1},
+			{Name: "d", Inputs: []Input{
+				{From: "b", Offsets: []Offset{{0, 0, 0}}},
+				{From: "c", Offsets: []Offset{{0, 2, 0}}},
+			}, Flops: 1},
+		},
+		Output: "d",
+	}
+	h, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c needed at j+2; a needed from b at i-3 and from c at (i+1, j+2).
+	wantA := Extent{ILo: 3, IHi: 1, JHi: 2}
+	if got := h.StageExtents[prog.StageIndex("a")]; got != wantA {
+		t.Fatalf("extent(a) = %v, want %v", got, wantA)
+	}
+}
+
+func TestAnalyzeDetectsDeadStage(t *testing.T) {
+	prog := &Program{
+		Name:       "dead",
+		StepInputs: []string{"in"},
+		Stages: []Stage{
+			{Name: "a", Inputs: []Input{{From: "in", Offsets: []Offset{{0, 0, 0}}}}, Flops: 1},
+			{Name: "unused", Inputs: []Input{{From: "in", Offsets: []Offset{{0, 0, 0}}}}, Flops: 1},
+		},
+		Output: "a",
+	}
+	if _, err := Analyze(prog); err == nil || !strings.Contains(err.Error(), "dead") {
+		t.Fatalf("err = %v, want dead-stage error", err)
+	}
+}
+
+// randomProgram builds a random topologically ordered program where every
+// stage is reachable from the output via a chain through the previous stage.
+func randomProgram(r *rand.Rand, nStages int) *Program {
+	prog := &Program{Name: "rand", StepInputs: []string{"in"}}
+	names := []string{"in"}
+	randOffs := func() []Offset {
+		n := 1 + r.Intn(3)
+		offs := make([]Offset, n)
+		for i := range offs {
+			offs[i] = Offset{r.Intn(5) - 2, r.Intn(5) - 2, r.Intn(3) - 1}
+		}
+		return offs
+	}
+	for s := 0; s < nStages; s++ {
+		st := Stage{Name: string(rune('a' + s)), Flops: 1 + r.Intn(10)}
+		// Always read the immediately preceding producer so the whole
+		// program stays live, plus a few random earlier producers.
+		st.Inputs = append(st.Inputs, Input{From: names[len(names)-1], Offsets: randOffs()})
+		for n := r.Intn(2); n > 0; n-- {
+			st.Inputs = append(st.Inputs, Input{From: names[r.Intn(len(names))], Offsets: randOffs()})
+		}
+		// Merge duplicate producers (Validate allows them, but keep it tidy).
+		prog.Stages = append(prog.Stages, st)
+		names = append(names, st.Name)
+	}
+	prog.Output = prog.Stages[nStages-1].Name
+	return prog
+}
+
+// TestAnalyzeSoundness is the core property test: for every stage, the
+// computed region of each producer must contain every cell the consumer's
+// region actually reads.
+func TestAnalyzeSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomProgram(r, 2+r.Intn(8))
+		h, err := Analyze(prog)
+		if err != nil {
+			t.Logf("analyze: %v", err)
+			return false
+		}
+		domain := grid.Sz(64, 64, 16)
+		target := grid.Box(20, 40, 20, 40, 4, 12)
+		for si := range prog.Stages {
+			cons := h.StageRegion(si, target, domain)
+			for _, in := range prog.Stages[si].Inputs {
+				ext := OffsetsExtent(in.Offsets)
+				needed := ext.Apply(cons).Clamp(domain)
+				var prodRegion grid.Region
+				if pi := prog.StageIndex(in.From); pi >= 0 {
+					prodRegion = h.StageRegion(pi, target, domain)
+				} else {
+					prodRegion = h.InputRegion(in.From, target, domain)
+				}
+				if !prodRegion.ContainsRegion(needed) {
+					t.Logf("stage %s reading %s: needs %v, has %v",
+						prog.Stages[si].Name, in.From, needed, prodRegion)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeMonotonic: extents never shrink when offsets widen.
+func TestAnalyzeMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomProgram(r, 3+r.Intn(5))
+		h1, err := Analyze(prog)
+		if err != nil {
+			return false
+		}
+		// Widen one random input of one random stage.
+		wider := *prog
+		wider.Stages = append([]Stage(nil), prog.Stages...)
+		si := r.Intn(len(wider.Stages))
+		st := wider.Stages[si]
+		st.Inputs = append([]Input(nil), st.Inputs...)
+		ii := r.Intn(len(st.Inputs))
+		in := st.Inputs[ii]
+		in.Offsets = append(append([]Offset(nil), in.Offsets...), Offset{3, 3, 2})
+		st.Inputs[ii] = in
+		wider.Stages[si] = st
+		h2, err := Analyze(&wider)
+		if err != nil {
+			return false
+		}
+		for s := range prog.Stages {
+			e1, e2 := h1.StageExtents[s], h2.StageExtents[s]
+			if e1.Max(e2) != e2 { // e2 must dominate e1
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtraCellsFig1(t *testing.T) {
+	prog := &Fig1Program().Program
+	h, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := grid.Sz(100, 1, 1)
+	// Interior island [40,60): C exact, B grows by [-1,0] = 1 extra,
+	// A grows by [-2,+1] = 3 extra. Total = 4.
+	island := grid.Box(40, 60, 0, 1, 0, 1)
+	if got := h.ExtraCells(island, domain); got != 4 {
+		t.Fatalf("ExtraCells(interior) = %d, want 4", got)
+	}
+	// Island at the left domain edge: halos clamp, only the +1 side of A
+	// remains: B 0 extra, A 1 extra. Total = 1.
+	edge := grid.Box(0, 20, 0, 1, 0, 1)
+	if got := h.ExtraCells(edge, domain); got != 1 {
+		t.Fatalf("ExtraCells(edge) = %d, want 1", got)
+	}
+	if got := h.TotalCells(domain); got != 300 {
+		t.Fatalf("TotalCells = %d, want 300", got)
+	}
+}
+
+func TestFig1KernelsMatchDeclaredPattern(t *testing.T) {
+	// Execute the toy program on the whole domain and check kernels agree
+	// with a direct computation — guards against kernels drifting from
+	// their declared offsets.
+	kp := Fig1Program()
+	domain := grid.Sz(16, 2, 2)
+	in := grid.NewField("in", domain)
+	in.FillFunc(func(i, j, k int) float64 { return float64(i*i + j - k) })
+	env, err := NewEnv(&kp.Program, domain, map[string]*grid.Field{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := grid.WholeRegion(domain)
+	for s, k := range kp.Kernels {
+		_ = s
+		k(env, whole)
+	}
+	c := env.Field("C")
+	for i := 0; i < domain.NI; i++ {
+		a := func(i int) float64 {
+			return (in.At(Wrap(i, 16), 0, 0) + in.At(Wrap(i+1, 16), 0, 0)) / 2
+		}
+		b := func(i int) float64 { return (a(i-1) + a(i) + a(i+1)) / 3 }
+		want := (b(i-1) + b(i)) / 2
+		if got := c.At(i, 0, 0); got != want {
+			t.Fatalf("C(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cases := []struct{ idx, n, want int }{
+		{0, 5, 0}, {4, 5, 4}, {5, 5, 0}, {-1, 5, 4}, {-6, 5, 4}, {11, 5, 1},
+	}
+	for _, c := range cases {
+		if got := Wrap(c.idx, c.n); got != c.want {
+			t.Errorf("Wrap(%d,%d) = %d, want %d", c.idx, c.n, got, c.want)
+		}
+	}
+}
+
+func TestNewEnvErrors(t *testing.T) {
+	kp := Fig1Program()
+	domain := grid.Sz(8, 1, 1)
+	if _, err := NewEnv(&kp.Program, domain, nil); err == nil {
+		t.Fatal("expected missing-input error")
+	}
+	wrong := grid.NewField("in", grid.Sz(4, 1, 1))
+	if _, err := NewEnv(&kp.Program, domain, map[string]*grid.Field{"in": wrong}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestBuildProgramRejectsNilKernel(t *testing.T) {
+	_, err := BuildProgram("p", []string{"in"}, "s", []KernelStage{
+		{Stage: Stage{Name: "s", Inputs: []Input{{From: "in", Offsets: []Offset{{0, 0, 0}}}}, Flops: 1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no kernel") {
+		t.Fatalf("err = %v, want no-kernel error", err)
+	}
+}
+
+func TestStageReads(t *testing.T) {
+	st := Stage{Name: "s", Inputs: []Input{
+		{From: "x", Offsets: []Offset{{1, 0, 0}}},
+		{From: "y", Offsets: []Offset{{0, 0, 0}}},
+	}}
+	if got := st.Reads("x"); len(got) != 1 || got[0] != (Offset{1, 0, 0}) {
+		t.Fatalf("Reads(x) = %v", got)
+	}
+	if st.Reads("z") != nil {
+		t.Fatal("Reads(unknown) must be nil")
+	}
+}
+
+func TestTotalFlops(t *testing.T) {
+	prog := &Fig1Program().Program
+	if got := prog.TotalFlopsPerCellStep(); got != 7 {
+		t.Fatalf("TotalFlopsPerCellStep = %d, want 7", got)
+	}
+}
+
+func TestOffsetAndExtentStrings(t *testing.T) {
+	if got := (Offset{DI: 1, DJ: -2, DK: 0}).String(); got != "(1,-2,0)" {
+		t.Fatalf("Offset.String = %q", got)
+	}
+	e := Extent{ILo: 1, IHi: 2, JLo: 0, JHi: 0, KLo: 3, KHi: 0}
+	if got := e.String(); got != "i[-1,+2] j[-0,+0] k[-3,+0]" {
+		t.Fatalf("Extent.String = %q", got)
+	}
+}

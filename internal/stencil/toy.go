@@ -1,0 +1,74 @@
+package stencil
+
+import "islands/internal/grid"
+
+// Fig1Program builds the paper's Fig. 1 example: a forward-in-time
+// computation whose time step consists of three heterogeneous 1D stencil
+// stages A, B, C along the i dimension. It is used by tests and by
+// examples/scenarios1d to contrast the two parallelization scenarios.
+//
+//	A(i) = (in(i) + in(i+1)) / 2        // right-looking
+//	B(i) = (A(i-1) + A(i) + A(i+1)) / 3 // symmetric
+//	C(i) = (B(i-1) + B(i)) / 2          // left-looking
+func Fig1Program() *KernelProgram {
+	kp, err := BuildProgram("fig1", []string{"in"}, "C", []KernelStage{
+		{
+			Stage: Stage{
+				Name:   "A",
+				Inputs: []Input{{From: "in", Offsets: []Offset{{0, 0, 0}, {1, 0, 0}}}},
+				Flops:  2,
+			},
+			Kernel: func(env *Env, r grid.Region) {
+				in, out := env.Field("in"), env.Field("A")
+				forEach(r, func(i, j, k int) {
+					out.Set(i, j, k, (in.At(i, j, k)+env.AtP(in, i+1, j, k))/2)
+				})
+			},
+		},
+		{
+			Stage: Stage{
+				Name:   "B",
+				Inputs: []Input{{From: "A", Offsets: []Offset{{-1, 0, 0}, {0, 0, 0}, {1, 0, 0}}}},
+				Flops:  3,
+			},
+			Kernel: func(env *Env, r grid.Region) {
+				a, out := env.Field("A"), env.Field("B")
+				forEach(r, func(i, j, k int) {
+					out.Set(i, j, k, (env.AtP(a, i-1, j, k)+a.At(i, j, k)+env.AtP(a, i+1, j, k))/3)
+				})
+			},
+		},
+		{
+			Stage: Stage{
+				Name:   "C",
+				Inputs: []Input{{From: "B", Offsets: []Offset{{-1, 0, 0}, {0, 0, 0}}}},
+				Flops:  2,
+			},
+			Kernel: func(env *Env, r grid.Region) {
+				b, out := env.Field("B"), env.Field("C")
+				forEach(r, func(i, j, k int) {
+					out.Set(i, j, k, (env.AtP(b, i-1, j, k)+b.At(i, j, k))/2)
+				})
+			},
+		},
+	})
+	if err != nil {
+		panic(err) // static program; cannot fail
+	}
+	return kp
+}
+
+// forEach visits every cell of a region in i-major order.
+func forEach(r grid.Region, fn func(i, j, k int)) {
+	for i := r.I0; i < r.I1; i++ {
+		for j := r.J0; j < r.J1; j++ {
+			for k := r.K0; k < r.K1; k++ {
+				fn(i, j, k)
+			}
+		}
+	}
+}
+
+// ForEach visits every cell of a region in i-major order. It is the exported
+// form of the iteration helper used by kernels in other packages.
+func ForEach(r grid.Region, fn func(i, j, k int)) { forEach(r, fn) }

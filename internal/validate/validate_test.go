@@ -1,0 +1,105 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"islands/internal/mpdata"
+)
+
+func TestUpwindIsFirstOrder(t *testing.T) {
+	pts, order, err := TranslationStudy(mpdata.Options{IORD: 1}, []int{64, 128, 256}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Donor-cell upwind approaches first order from below (the smooth
+	// blob is still feeling the pre-asymptotic regime at these sizes).
+	if order < 0.6 || order > 1.2 {
+		t.Fatalf("upwind observed order %.2f, want ~0.8-1", order)
+	}
+}
+
+func TestMPDATAIsSecondOrder(t *testing.T) {
+	_, order, err := TranslationStudy(mpdata.DefaultOptions(), []int{64, 128, 256}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrective pass restores second-order accuracy (observed 1.93;
+	// the limiter costs almost nothing on a smooth profile).
+	if order < 1.8 || order > 2.2 {
+		t.Fatalf("MPDATA observed order %.2f, want ~2", order)
+	}
+}
+
+func TestUnlimitedSecondOrder(t *testing.T) {
+	_, order, err := TranslationStudy(mpdata.Options{IORD: 2}, []int{64, 128, 256}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order < 1.8 || order > 2.2 {
+		t.Fatalf("unlimited MPDATA observed order %.2f, want ~2", order)
+	}
+}
+
+func TestIORD3IsHigherOrder(t *testing.T) {
+	_, order, err := TranslationStudy(mpdata.Options{IORD: 3, NonOscillatory: true}, []int{64, 128, 256}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The third pass pushes the observed order toward 3 (measured 2.73).
+	if order < 2.4 {
+		t.Fatalf("IORD=3 observed order %.2f, want >= 2.4", order)
+	}
+}
+
+func TestErrorsDecreaseMonotonically(t *testing.T) {
+	pts, _, err := TranslationStudy(mpdata.DefaultOptions(), []int{16, 32, 64}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].L2 >= pts[i-1].L2 {
+			t.Fatalf("error must fall under refinement: %+v", pts)
+		}
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	if _, _, err := TranslationStudy(mpdata.DefaultOptions(), []int{16}, 0.5); err == nil {
+		t.Fatal("expected error for a single resolution")
+	}
+	if _, _, err := TranslationStudy(mpdata.DefaultOptions(), []int{16, 32}, 0); err == nil {
+		t.Fatal("expected error for zero courant")
+	}
+	if _, _, err := TranslationStudy(mpdata.DefaultOptions(), []int{16, 32}, 0.3); err == nil {
+		t.Fatal("expected error for non-dividing courant")
+	}
+	if _, _, err := TranslationStudy(mpdata.DefaultOptions(), []int{4, 32}, 0.5); err == nil {
+		t.Fatal("expected error for too-coarse resolution")
+	}
+}
+
+func TestOrderSlope(t *testing.T) {
+	// Synthetic exact second-order data: err = (1/N)^2.
+	pts := []Point{{16, 1.0 / 256}, {32, 1.0 / 1024}, {64, 1.0 / 4096}}
+	if got := Order(pts); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Order = %v, want 2", got)
+	}
+	if !math.IsNaN(Order(pts[:1])) {
+		t.Fatal("single point must yield NaN")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	pts := []Point{{16, 0.1}, {32, 0.025}}
+	out := Report("test", pts, Order(pts))
+	for _, want := range []string{"N=  16", "rate 2.00", "observed order: 2.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package islands reproduces the PaCT 2017 paper "Islands-of-Cores Approach
+// for Harnessing SMP/NUMA Architectures in Heterogeneous Stencil
+// Computations" (Szustak, Wyrzykowski, Jakl) as a Go library.
+//
+// It provides:
+//
+//   - a full 17-stage MPDATA advection solver expressed as a heterogeneous
+//     stencil program (internal/mpdata, internal/stencil);
+//   - the paper's three execution strategies — original, (3+1)D
+//     decomposition, and islands-of-cores — running real computations on
+//     goroutine work teams (internal/exec, internal/sched);
+//   - a simulated SMP/NUMA machine (SGI UV 2000 and variants) with a
+//     flow-level contention model that prices each strategy's execution
+//     time, reproducing the paper's Tables 1-4 and Fig. 2
+//     (internal/topology, internal/simmach, internal/perf).
+//
+// The quickest entry points are Simulation (run MPDATA numerically with any
+// strategy) and Predict (price a configuration on the simulated machine).
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// paper-versus-model comparison.
+package islands
+
+import (
+	"fmt"
+
+	"islands/internal/advisor"
+	"islands/internal/decomp"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/perf"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// Strategy selects how a simulation is executed and priced.
+type Strategy = exec.Strategy
+
+// The three strategies of the paper.
+const (
+	Original       = exec.Original
+	Plus31D        = exec.Plus31D
+	IslandsOfCores = exec.IslandsOfCores
+)
+
+// Placement selects the NUMA page placement policy.
+type Placement = grid.PlacementPolicy
+
+// Placement policies.
+const (
+	FirstTouchSerial   = grid.FirstTouchSerial
+	FirstTouchParallel = grid.FirstTouchParallel
+	Interleaved        = grid.Interleaved
+)
+
+// Variant selects the 1D island mapping dimension.
+type Variant = decomp.Variant
+
+// Island mapping variants (paper §4.2, Table 2).
+const (
+	VariantA = decomp.VariantA
+	VariantB = decomp.VariantB
+)
+
+// Boundary selects the domain boundary condition.
+type Boundary = stencil.Boundary
+
+// Boundary conditions.
+const (
+	Periodic = stencil.Periodic
+	Clamp    = stencil.Clamp
+)
+
+// Machine is a simulated SMP/NUMA platform.
+type Machine = topology.Machine
+
+// UV2000 returns the paper's machine with p of its 14 NUMA nodes
+// (8-core Xeon E5-4627v2 each, NUMAlink 6 interconnect).
+func UV2000(p int) (*Machine, error) { return topology.UV2000(p) }
+
+// Size is a 3D grid extent.
+type Size = grid.Size
+
+// Sz constructs a Size.
+func Sz(ni, nj, nk int) Size { return grid.Sz(ni, nj, nk) }
+
+// Config selects the execution setting of a simulation or prediction.
+type Config struct {
+	// Processors is the number of UV 2000 NUMA nodes to use (1..14).
+	Processors int
+	Strategy   Strategy
+	Placement  Placement
+	Variant    Variant
+	Boundary   Boundary
+	// Steps is the number of MPDATA time steps.
+	Steps int
+	// BlockI overrides the (3+1)D block width (0 = size from cache).
+	BlockI int
+	// IslandGrid, when non-zero, maps islands onto a 2D grid of
+	// processors (pi x pj over the first two dimensions) instead of the
+	// 1D mapping selected by Variant — the paper's §4.2 future work.
+	IslandGrid [2]int
+	// CoreIslands applies the islands approach inside every island: each
+	// core becomes a sub-island with private redundant trapezoids and no
+	// intra-block synchronization — the paper's §6 future work.
+	CoreIslands bool
+	// IORD selects the MPDATA order (number of passes); 0 means the
+	// paper's default of 2. Higher orders append corrective stage groups.
+	IORD int
+	// Unlimited disables the non-oscillatory flux limiter, removing six
+	// stages per corrective pass and the monotonicity guarantee.
+	Unlimited bool
+}
+
+// mpdataOptions translates the public knobs to the solver's options.
+func (c Config) mpdataOptions() mpdata.Options {
+	o := mpdata.DefaultOptions()
+	if c.IORD != 0 {
+		o.IORD = c.IORD
+	}
+	if c.Unlimited {
+		o.NonOscillatory = false
+	}
+	return o
+}
+
+func (c Config) execConfig() (exec.Config, error) {
+	m, err := topology.UV2000(c.Processors)
+	if err != nil {
+		return exec.Config{}, err
+	}
+	return exec.Config{
+		Machine:     m,
+		Strategy:    c.Strategy,
+		Placement:   c.Placement,
+		Variant:     c.Variant,
+		Boundary:    c.Boundary,
+		Steps:       c.Steps,
+		BlockI:      c.BlockI,
+		IslandGrid:  c.IslandGrid,
+		CoreIslands: c.CoreIslands,
+	}, nil
+}
+
+// Simulation is an MPDATA run: a state (fields) plus an execution strategy.
+type Simulation struct {
+	State *mpdata.State
+	// OnStep, when set, is invoked after every completed time step with
+	// the zero-based step index; the state is fully published at that
+	// point. Use it to update time-dependent velocities (via the State
+	// setters) or to record diagnostics.
+	OnStep func(step int)
+
+	cfg    Config
+	runner *exec.Runner
+}
+
+// NewSimulation allocates an MPDATA simulation on the given domain. The
+// state's initial conditions can be set through the State field (SetGaussian,
+// SetSphere, SetUniformVelocity, SetRotationVelocityZ) before calling Run.
+func NewSimulation(domain Size, cfg Config) (*Simulation, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("islands: Steps must be positive")
+	}
+	if cfg.Processors <= 0 {
+		return nil, fmt.Errorf("islands: Processors must be positive")
+	}
+	return &Simulation{State: mpdata.NewState(domain), cfg: cfg}, nil
+}
+
+// Run executes the configured number of time steps with the configured
+// strategy, performing the real numerical computation in parallel. The
+// result lands in s.State.Psi.
+func (s *Simulation) Run() error {
+	ec, err := s.cfg.execConfig()
+	if err != nil {
+		return err
+	}
+	prog, err := mpdata.NewProgramWithOptions(s.cfg.mpdataOptions())
+	if err != nil {
+		return err
+	}
+	runner, err := exec.NewRunner(ec, prog, s.State.InputMap(), mpdata.InPsi)
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+	runner.OnStepEnd = s.OnStep
+	s.runner = runner
+	return runner.Run()
+}
+
+// Save writes the simulation state (all five fields and the completed-step
+// counter, derived from the configured steps if Run finished) to a
+// checkpoint file readable by Load and by cmd/field-info -checkpoint.
+func (s *Simulation) Save(path string, completedSteps int) error {
+	return mpdata.SaveCheckpoint(path, s.State, completedSteps)
+}
+
+// Load restores a checkpoint into a fresh simulation with the given
+// configuration, returning the simulation and the step counter the
+// checkpoint was taken at.
+func Load(path string, cfg Config) (*Simulation, int, error) {
+	state, steps, err := mpdata.LoadCheckpoint(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	sim, err := NewSimulation(state.Domain, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	sim.State = state
+	return sim, steps, nil
+}
+
+// Prediction is the modeled performance of a configuration on the simulated
+// UV 2000.
+type Prediction struct {
+	// Time is the modeled execution time in seconds for all steps.
+	Time float64
+	// SustainedGflops is useful flop/s over the run, in Gflop/s.
+	SustainedGflops float64
+	// UtilizationPct is sustained performance over theoretical peak.
+	UtilizationPct float64
+	// ExtraElementsPct is the redundant-computation overhead (Table 2).
+	ExtraElementsPct float64
+	// MemTrafficGB is the main-memory traffic of the run.
+	MemTrafficGB float64
+	// RemoteTrafficGB is the NUMAlink traffic of the run.
+	RemoteTrafficGB float64
+}
+
+// Predict prices an MPDATA configuration on the simulated machine without
+// running the numerics — the tool behind the paper-table reproduction.
+func Predict(domain Size, cfg Config) (*Prediction, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("islands: Steps must be positive")
+	}
+	ec, err := cfg.execConfig()
+	if err != nil {
+		return nil, err
+	}
+	kp, err := mpdata.NewProgramWithOptions(cfg.mpdataOptions())
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Model(ec, &kp.Program, domain)
+	if err != nil {
+		return nil, err
+	}
+	peak := ec.Machine.PeakFlops()
+	return &Prediction{
+		Time:             res.TotalTime,
+		SustainedGflops:  res.SustainedFlops() / 1e9,
+		UtilizationPct:   100 * res.SustainedFlops() / peak,
+		ExtraElementsPct: res.ExtraElementsPct,
+		MemTrafficGB:     res.MemTrafficBytes / 1e9,
+		RemoteTrafficGB:  res.RemoteTrafficBytes / 1e9,
+	}, nil
+}
+
+// Table is a rendered paper table.
+type Table = perf.Table
+
+// PaperSweep prepares the evaluation sweep of the paper: the 1024x512x64
+// grid, 50 time steps, P = 1..maxP UV 2000 processors. Use its Table1,
+// Table3, Table4, VariantTable and Fig2Series methods to regenerate the
+// evaluation section.
+func PaperSweep(maxP int) *perf.Sweep {
+	prog := &mpdata.NewProgram().Program
+	return perf.NewSweep(prog, grid.Sz(1024, 512, 64), 50, maxP)
+}
+
+// PaperTable2 regenerates Table 2 at the paper's scale.
+func PaperTable2(maxP int) (*Table, error) {
+	prog := &mpdata.NewProgram().Program
+	return perf.Table2(prog, grid.Sz(1024, 512, 64), maxP)
+}
+
+// PaperTrafficTable regenerates the §3.2 single-socket traffic comparison.
+func PaperTrafficTable() (*Table, error) {
+	prog := &mpdata.NewProgram().Program
+	return perf.TrafficTable(prog)
+}
+
+// PaperRooflineTable classifies every MPDATA stage against the UV 2000
+// socket's machine balance and reports the whole-program arithmetic
+// intensities of the original and cache-blocked executions.
+func PaperRooflineTable() (*Table, error) {
+	m, err := topology.UV2000(1)
+	if err != nil {
+		return nil, err
+	}
+	prog := &mpdata.NewProgram().Program
+	return perf.RooflineTable(prog, m.Nodes[0]), nil
+}
+
+// PaperWeakScalingTable grows the domain with the processor count (73
+// i-columns per island — the paper's per-island share at P=14).
+func PaperWeakScalingTable(maxP int) (*Table, error) {
+	prog := &mpdata.NewProgram().Program
+	return perf.WeakScalingTable(prog, 73, grid.Sz(0, 512, 64), 50, maxP)
+}
+
+// PaperDomainSweepTable prices the islands strategy at P=14 over a range of
+// domain widths, showing the redundancy fraction and efficiency versus
+// problem size.
+func PaperDomainSweepTable() (*Table, error) {
+	prog := &mpdata.NewProgram().Program
+	return perf.DomainSweepTable(prog, 14, []int{256, 512, 1024, 2048, 4096}, grid.Sz(0, 512, 64), 50)
+}
+
+// PaperAffinityTable is the §4.2 affinity ablation: adjacent versus
+// scattered island placement on a two-IRU cluster.
+func PaperAffinityTable() (*Table, error) {
+	prog := &mpdata.NewProgram().Program
+	return perf.AffinityTable(prog, grid.Sz(512, 256, 32), 50)
+}
+
+// PaperBreakdownTable attributes each strategy's core time to activity
+// categories (compute+stream, halo stalls, barriers, fills) at P=8 on the
+// paper's grid — the quantitative form of §5's explanation.
+func PaperBreakdownTable() (*Table, error) {
+	prog := &mpdata.NewProgram().Program
+	return perf.BreakdownTable(prog, grid.Sz(1024, 512, 64), 8, 50)
+}
+
+// Recommendation is one ranked configuration from Advise.
+type Recommendation struct {
+	// Name labels the configuration ("islands 7x2", "original", ...).
+	Name string
+	// Time is the modeled execution time in seconds.
+	Time float64
+	// Rationale summarizes the configuration's cost structure.
+	Rationale string
+}
+
+// Advise prices every strategy and island mapping for an MPDATA run of the
+// given size on p UV 2000 processors and returns them fastest-first — the
+// paper's §6 "management of the correlation between computation and
+// communication costs" as a library call.
+func Advise(domain Size, p, steps int) ([]Recommendation, error) {
+	m, err := topology.UV2000(p)
+	if err != nil {
+		return nil, err
+	}
+	prog := &mpdata.NewProgram().Program
+	cands, err := advisor.Advise(m, prog, domain, steps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Recommendation, len(cands))
+	for i := range cands {
+		out[i] = Recommendation{
+			Name:      cands[i].Name,
+			Time:      cands[i].Time(),
+			Rationale: cands[i].Rationale(),
+		}
+	}
+	return out, nil
+}
