@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables examples clean
+.PHONY: all build vet test race race-core bench benchall tables examples clean
 
-all: build vet test
+# Tier-1 gate: build + vet + full test suite + race detector on the
+# concurrency-bearing packages (the scheduler's teams/barriers and the
+# compiled-schedule executor).
+all: build vet test race-core
 
 build:
 	$(GO) build ./...
@@ -19,7 +22,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-core:
+	$(GO) test -race ./internal/sched/... ./internal/exec/...
+
+# Run the compute benchmarks and append the results to BENCH_compute.json
+# (see docs/PERFORMANCE.md for the trajectory format).
 bench:
+	scripts/bench.sh
+
+benchall:
 	$(GO) test -bench . -benchmem ./...
 
 # Regenerate the paper's evaluation tables on the simulated UV 2000.

@@ -232,36 +232,42 @@ func BenchmarkCrossover(b *testing.B) {
 	}
 }
 
-// BenchmarkCompute runs the real parallel computation (goroutine work teams)
-// of one MPDATA step for each strategy and reports cell throughput.
-func BenchmarkCompute(b *testing.B) {
+// computeBench runs the real parallel computation (goroutine work teams) of
+// one MPDATA time step with the given strategy and reports cell throughput
+// and steady-state allocations (the compiled-schedule loop must stay at 0
+// allocs/op).
+func computeBench(b *testing.B, strat exec.Strategy, coreIslands bool) {
+	b.Helper()
 	domain := grid.Sz(128, 64, 16)
-	for _, strat := range []exec.Strategy{exec.Original, exec.Plus31D, exec.IslandsOfCores} {
-		b.Run(strat.String(), func(b *testing.B) {
-			m, err := topology.UV2000(2)
-			if err != nil {
-				b.Fatal(err)
-			}
-			state := mpdata.NewState(domain)
-			state.SetGaussian(64, 32, 8, 4, 1, 0.1)
-			state.SetUniformVelocity(0.2, 0.1, 0.05)
-			runner, err := exec.NewRunner(exec.Config{
-				Machine: m, Strategy: strat, Boundary: stencil.Clamp, Steps: 1, BlockI: 16,
-			}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer runner.Close()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := runner.Run(); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(float64(domain.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
-		})
+	m, err := topology.UV2000(2)
+	if err != nil {
+		b.Fatal(err)
 	}
+	state := mpdata.NewState(domain)
+	state.SetGaussian(64, 32, 8, 4, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	runner, err := exec.NewRunner(exec.Config{
+		Machine: m, Strategy: strat, CoreIslands: coreIslands,
+		Boundary: stencil.Clamp, Steps: 1, BlockI: 16,
+	}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(domain.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
+
+func BenchmarkComputeOriginal(b *testing.B)    { computeBench(b, exec.Original, false) }
+func BenchmarkComputePlus31D(b *testing.B)     { computeBench(b, exec.Plus31D, false) }
+func BenchmarkComputeIslands(b *testing.B)     { computeBench(b, exec.IslandsOfCores, false) }
+func BenchmarkComputeCoreIslands(b *testing.B) { computeBench(b, exec.IslandsOfCores, true) }
 
 // BenchmarkReferenceSolver measures the sequential reference MPDATA step.
 func BenchmarkReferenceSolver(b *testing.B) {

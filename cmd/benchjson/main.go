@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record and appends it as one labelled run to a trajectory file
+// (creating the file on first use). scripts/bench.sh drives it to maintain
+// BENCH_compute.json, the repository's compute-performance history: each run
+// records name, ns/op and allocs/op per benchmark, so performance changes
+// are reviewable alongside the code that caused them.
+//
+// Usage:
+//
+//	go test -bench BenchmarkCompute -benchmem . | benchjson -o BENCH_compute.json -label "..." -commit abc1234
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+// Run is one labelled invocation of the benchmark suite.
+type Run struct {
+	Label   string   `json:"label,omitempty"`
+	Commit  string   `json:"commit,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// File is the on-disk trajectory: a sequence of runs, oldest first.
+type File struct {
+	Benchmark string `json:"benchmark"`
+	Runs      []Run  `json:"runs"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_compute.json", "trajectory file to append the run to")
+	label := flag.String("label", "", "label for this run")
+	commit := flag.String("commit", "", "commit hash the run was taken at")
+	match := flag.String("match", "Benchmark", "only record benchmarks whose name has this prefix")
+	flag.Parse()
+
+	run := Run{Label: *label, Commit: *commit}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text(), *match); ok {
+			run.Results = append(run.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(run.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matching %q on stdin", *match))
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+	if f.Benchmark == "" {
+		f.Benchmark = *match
+	}
+	f.Runs = append(f.Runs, run)
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d results to %s\n", len(run.Results), *out)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName[-P]  <iters>  <value> <unit>  <value> <unit> ...
+func parseLine(line, match string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], match) {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends on multi-proc runs.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, seen = v, true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, seen
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+package exec
+
+import (
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// BenchmarkScheduleBuild measures the plan-time cost of compiling a full
+// one-step execution schedule (region decomposition, interior/border-piece
+// splits, barrier placement) for the islands strategy on a two-node machine —
+// the price paid once per Runner so the steady-state loop pays none of it.
+func BenchmarkScheduleBuild(b *testing.B) {
+	domain := grid.Sz(128, 64, 16)
+	m, err := topology.UV2000(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := mpdata.NewState(domain)
+	state.SetGaussian(64, 32, 8, 4, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	prog := mpdata.NewProgram()
+	r, err := NewRunner(Config{
+		Machine: m, Strategy: IslandsOfCores, Boundary: stencil.Clamp, Steps: 1, BlockI: 16,
+	}, prog, state.InputMap(), mpdata.InPsi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	out := state.InputMap()[mpdata.InPsi]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := compileSchedule(r.plan, prog, r.sch.Teams, r.envs, r.workerEnvs, out)
+		if len(s.items) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}

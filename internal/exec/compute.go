@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 
-	"islands/internal/decomp"
 	"islands/internal/grid"
 	"islands/internal/sched"
 	"islands/internal/stencil"
@@ -14,6 +13,12 @@ import (
 // bit-identical results (verified by tests against the sequential reference),
 // differing only in how work is ordered and which cores own it — the
 // properties the model backend prices.
+//
+// At construction the runner compiles the full per-worker execution schedule
+// of one time step (see schedule.go); Run's steady-state loop dispatches one
+// precompiled closure per team per step and performs no allocations — all
+// per-stage synchronization happens at reusable phase barriers inside the
+// workers.
 type Runner struct {
 	plan     *plan
 	prog     *stencil.KernelProgram
@@ -29,6 +34,11 @@ type Runner struct {
 	// are enabled: each worker's intermediates are private, mirroring the
 	// per-core cache partitions the sub-islands represent.
 	workerEnvs [][]*stencil.Env
+	// schedule is the compiled one-step program; stepFns are the per-team
+	// worker closures dispatched every step (built once, so the dispatch
+	// allocates nothing).
+	schedule *Schedule
+	stepFns  []func(worker int)
 	// OnStepEnd, when set, is invoked after every completed time step
 	// (outside any parallel region, with all outputs published). Hooks
 	// may mutate the step inputs — e.g. update time-dependent velocity
@@ -68,18 +78,38 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 			}
 			r.workerEnvs = append(r.workerEnvs, envs)
 		}
-		return r, nil
-	}
-	for range p.parts {
-		env, err := stencil.NewEnv(&prog.Program, fb.Size, inputs)
-		if err != nil {
-			r.Close()
-			return nil, err
+	} else {
+		for range p.parts {
+			env, err := stencil.NewEnv(&prog.Program, fb.Size, inputs)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			env.BC = cfg.Boundary
+			r.envs = append(r.envs, env)
 		}
-		env.BC = cfg.Boundary
-		r.envs = append(r.envs, env)
+	}
+	r.schedule = compileSchedule(p, prog, r.sch.Teams, r.envs, r.workerEnvs, fb)
+	r.stepFns = make([]func(worker int), len(r.sch.Teams))
+	for t := range r.sch.Teams {
+		items := r.schedule.items[t]
+		r.stepFns[t] = func(w int) { r.runWorker(items[w]) }
 	}
 	return r, nil
+}
+
+// runWorker executes one worker's compiled step program. A panicking kernel
+// poisons the schedule's barriers so the other workers unwind instead of
+// waiting forever at the next phase; the original panic value is recorded
+// and re-raised to the driver by Run.
+func (r *Runner) runWorker(items []schedItem) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.schedule.fail(p)
+			panic(p)
+		}
+	}()
+	runItems(items)
 }
 
 // Close releases the runner's work teams.
@@ -100,151 +130,32 @@ type PlanInfo struct {
 	Blocks [][]grid.Region
 }
 
-// Run advances the program by the configured number of steps.
-func (r *Runner) Run() error {
-	for step := 0; step < r.plan.cfg.Steps; step++ {
-		switch r.plan.cfg.Strategy {
-		case Original:
-			r.stepOriginal()
-		case Plus31D:
-			r.stepPlus31D()
-		case IslandsOfCores:
-			if r.plan.cfg.CoreIslands {
-				r.stepIslandsCore()
-			} else {
-				r.stepIslands()
+// Schedule exposes the compiled one-step execution schedule.
+func (r *Runner) Schedule() *Schedule { return r.schedule }
+
+// Run advances the program by the configured number of steps. Each step is
+// one alloc-free dispatch of the compiled schedule; feedback publication is
+// a buffer swap for the shared-environment strategies (Original, Plus31D)
+// and precompiled region copies for the island strategies.
+func (r *Runner) Run() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Prefer the original kernel panic over the secondary
+			// "barrier aborted" panics of the unwinding workers.
+			if f := r.schedule.firstFailure(); f != nil {
+				panic(f)
 			}
+			panic(p)
+		}
+	}()
+	for step := 0; step < r.plan.cfg.Steps; step++ {
+		r.sch.RunFns(r.stepFns)
+		if r.schedule.swapFeedback {
+			grid.SwapData(r.inputs[r.feedback], r.envs[0].Field(r.prog.Output))
 		}
 		if r.OnStepEnd != nil {
 			r.OnStepEnd(step)
 		}
 	}
 	return nil
-}
-
-// stepOriginal: every stage sweeps the whole domain, all cores cooperating;
-// the dispatch joins between stages are the per-stage synchronization points
-// of scenario 1.
-func (r *Runner) stepOriginal() {
-	env := r.envs[0]
-	cores := r.sch.TotalCores()
-	for s, kern := range r.prog.Kernels {
-		span := r.plan.spans[0][s][0]
-		chunks := decomp.SplitDim(span, 0, cores)
-		kern := kern
-		r.sch.RunAll(func(team, worker int) {
-			c := r.coreIndex(team, worker)
-			if !chunks[c].Empty() {
-				kern(env, chunks[c])
-			}
-		})
-	}
-	r.copyFeedbackAll(env)
-}
-
-// stepPlus31D: cache-sized blocks processed one after another; within a
-// block, every stage is chunked across all cores of the machine with a
-// machine-wide join per stage.
-func (r *Runner) stepPlus31D() {
-	env := r.envs[0]
-	cores := r.sch.TotalCores()
-	for b := range r.plan.blocks[0] {
-		for s, kern := range r.prog.Kernels {
-			span := r.plan.spans[0][s][b]
-			if span.Empty() {
-				continue
-			}
-			chunks := decomp.SplitDim(span, 1, cores)
-			kern := kern
-			r.sch.RunAll(func(team, worker int) {
-				c := r.coreIndex(team, worker)
-				if !chunks[c].Empty() {
-					kern(env, chunks[c])
-				}
-			})
-		}
-	}
-	r.copyFeedbackAll(env)
-}
-
-// stepIslandsCore: core-level sub-islands (paper §6 future work). Every
-// worker of every team is its own island: it sweeps all blocks and all
-// stages over its private j-trapezoids without any synchronization until
-// the end-of-step join — the logical limit of the islands idea.
-func (r *Runner) stepIslandsCore() {
-	r.sch.RunTeams(func(t *sched.Team) {
-		subs := decomp.SplitDim(r.plan.parts[t.ID], 1, t.Size())
-		t.Run(func(worker int) {
-			env := r.workerEnvs[t.ID][worker]
-			for b := range r.plan.blocks[t.ID] {
-				for s, kern := range r.prog.Kernels {
-					reg := r.plan.workerRegion(t.ID, s, b, subs[worker])
-					if !reg.Empty() {
-						kern(env, reg)
-					}
-				}
-			}
-		})
-	})
-	out := r.inputs[r.feedback]
-	r.sch.RunTeams(func(t *sched.Team) {
-		subs := decomp.SplitDim(r.plan.parts[t.ID], 1, t.Size())
-		t.Run(func(worker int) {
-			if !subs[worker].Empty() {
-				src := r.workerEnvs[t.ID][worker].Field(r.prog.Output)
-				grid.CopyRegion(out, src, subs[worker])
-			}
-		})
-	})
-}
-
-// stepIslands: every island (work team) processes its own part with private
-// intermediates, computing the boundary trapezoids redundantly; the teams
-// join once per step, then publish their outputs.
-func (r *Runner) stepIslands() {
-	r.sch.RunTeams(func(t *sched.Team) {
-		env := r.envs[t.ID]
-		for b := range r.plan.blocks[t.ID] {
-			for s, kern := range r.prog.Kernels {
-				span := r.plan.spans[t.ID][s][b]
-				if span.Empty() {
-					continue
-				}
-				chunks := decomp.SplitDim(span, 1, t.Size())
-				kern := kern
-				t.Run(func(worker int) {
-					if !chunks[worker].Empty() {
-						kern(env, chunks[worker])
-					}
-				})
-			}
-		}
-	})
-	// Global synchronization happened at the join above; now every island
-	// publishes its exact part of the output (no overlap).
-	out := r.inputs[r.feedback]
-	r.sch.RunTeams(func(t *sched.Team) {
-		src := r.envs[t.ID].Field(r.prog.Output)
-		part := r.plan.parts[t.ID]
-		chunks := decomp.SplitDim(part, 1, t.Size())
-		t.Run(func(worker int) {
-			grid.CopyRegion(out, src, chunks[worker])
-		})
-	})
-}
-
-// copyFeedbackAll copies the program output into the feedback input with all
-// cores, chunked along i (the dimension of the first-touch ownership).
-func (r *Runner) copyFeedbackAll(env *stencil.Env) {
-	out := r.inputs[r.feedback]
-	src := env.Field(r.prog.Output)
-	chunks := decomp.SplitDim(grid.WholeRegion(r.plan.domain), 0, r.sch.TotalCores())
-	r.sch.RunAll(func(team, worker int) {
-		grid.CopyRegion(out, src, chunks[r.coreIndex(team, worker)])
-	})
-}
-
-// coreIndex maps (team, worker) to a global core index.
-func (r *Runner) coreIndex(team, worker int) int {
-	return r.sch.Teams[team].Cores[worker]
 }

@@ -51,3 +51,33 @@ func DescribePlan(cfg Config, prog *stencil.Program, domain grid.Size) (string, 
 	}
 	return b.String(), nil
 }
+
+// DescribeSchedule renders a runner's compiled one-step execution schedule:
+// how many precompiled work items each team walks per step, and how the
+// per-stage joins and feedback publication are realized. This is the
+// compute-backend counterpart of DescribePlan — what the schedule compiler
+// decided once, before the first time step.
+func (r *Runner) DescribeSchedule() string {
+	var b strings.Builder
+	st := r.schedule.Stats()
+	fmt.Fprintf(&b, "compiled schedule: %v, %d teams\n", r.plan.cfg.Strategy, len(r.sch.Teams))
+	for t, team := range r.sch.Teams {
+		kernels, copies, waits := 0, 0, 0
+		for _, items := range r.schedule.items[t] {
+			for i := range items {
+				switch items[i].kind {
+				case kernelItem:
+					kernels++
+				case copyItem:
+					copies++
+				case barrierItem:
+					waits++
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  team %2d (%d workers): %d kernel items, %d copy items, %d barrier waits per step\n",
+			team.ID, team.Size(), kernels, copies, waits)
+	}
+	fmt.Fprintf(&b, "  %s\n", st)
+	return b.String()
+}

@@ -226,6 +226,14 @@ func newPlan(cfg Config, prog *stencil.Program, domain grid.Size) (*plan, error)
 	return p, nil
 }
 
+// stageChunks returns the per-worker chunks of stage s's span in block b of
+// island i, split along dim across n workers. It is the single source of the
+// worker-level decomposition: the compiled compute schedule executes these
+// chunks and the model backend prices them.
+func (p *plan) stageChunks(island, s, b, dim, n int) []grid.Region {
+	return decomp.SplitDim(p.spans[island][s][b], dim, n)
+}
+
 // islandCells returns the total cells island i computes for stage s
 // (including redundant trapezoids).
 func (p *plan) islandCells(i, s int) int64 {

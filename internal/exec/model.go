@@ -306,8 +306,8 @@ func modelOriginal(p *plan, res *ModelResult) error {
 	var remoteHalo float64
 	for s := range p.prog.Stages {
 		st := &p.prog.Stages[s]
-		span := p.spans[0][s][0]
-		chunks := decomp.SplitDim(span, 0, cores)
+		// The same per-core chunks the compiled compute schedule executes.
+		chunks := p.stageChunks(0, s, 0, 0, cores)
 		bar := mm.sim.NewBarrier(cores, mm.barrierCost(allNodes(nodes), cores))
 		halo := stageHalo(st)
 		for c := 0; c < cores; c++ {

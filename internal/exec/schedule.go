@@ -1,0 +1,409 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"islands/internal/decomp"
+	"islands/internal/grid"
+	"islands/internal/sched"
+	"islands/internal/stencil"
+)
+
+// splitPart cuts an island part into one output sub-region per worker along
+// j — the decomposition both the publish copies and the core-level
+// sub-islands use.
+func splitPart(part grid.Region, n int) []grid.Region {
+	return decomp.SplitDim(part, 1, n)
+}
+
+// This file implements the compiled-schedule executor: at NewRunner time the
+// full (island, block, stage, worker) -> region decomposition of one time
+// step — including the interior/border split that split kernels would
+// otherwise recompute on every invocation — is flattened into one work-item
+// list per worker. The steady-state step loop then performs no region
+// arithmetic, no closure construction and no allocations: every worker walks
+// its precompiled items, and per-stage joins are reusable sense-reversing
+// barriers (sched.Barrier) instead of a channel dispatch+join through
+// sched.Team.Run. This is the schedule-once/execute-many discipline of
+// time-skewed stencil frameworks, applied to the paper's three strategies.
+
+type itemKind uint8
+
+const (
+	// kernelItem invokes a stage kernel over a precomputed region. Regions
+	// of split-kernel stages are pre-cut into interior (fast path, flat
+	// indexing) and border (slow path, boundary conditions) pieces.
+	kernelItem itemKind = iota
+	// copyItem publishes a region of an island-private output field into a
+	// shared field (the feedback input).
+	copyItem
+	// barrierItem waits at a phase barrier — the per-stage team join or
+	// the end-of-compute global join.
+	barrierItem
+)
+
+// schedItem is one precompiled unit of work in a worker's step program.
+type schedItem struct {
+	kind itemKind
+	kern stencil.Kernel
+	env  *stencil.Env
+	reg  grid.Region
+	dst  *grid.Field
+	src  *grid.Field
+	bar  *sched.Barrier
+}
+
+// Schedule is a compiled one-step execution program: for every worker of
+// every team, the ordered work items of one time step. It is built once per
+// Runner and reused for every step; the model backend shares the plan's
+// decomposition helpers (plan.stageChunks) so both backends price and
+// execute the same geometry.
+type Schedule struct {
+	// items[t][w] is the step program of worker w of team t.
+	items [][][]schedItem
+	// barriers lists every barrier in the schedule, for Abort on failure.
+	barriers []*sched.Barrier
+	// swapFeedback marks strategies whose feedback is published by
+	// swapping the output buffer with the feedback input between steps
+	// (single shared environment); island-private environments publish via
+	// copyItems instead, because their outputs only cover their parts.
+	swapFeedback bool
+
+	failOnce sync.Once
+	failure  any
+}
+
+// SwapFeedback reports whether the compiled schedule publishes feedback by
+// buffer swap (true for Original and Plus31D) rather than by region copies.
+func (s *Schedule) SwapFeedback() bool { return s.swapFeedback }
+
+// fail records the first worker failure and poisons every barrier so the
+// remaining workers unwind instead of deadlocking at the next phase.
+func (s *Schedule) fail(p any) {
+	s.failOnce.Do(func() {
+		s.failure = p
+		for _, b := range s.barriers {
+			b.Abort()
+		}
+	})
+}
+
+// firstFailure returns the first recorded worker panic value, or nil.
+func (s *Schedule) firstFailure() any {
+	var f any
+	s.failOnce.Do(func() {})
+	f = s.failure
+	return f
+}
+
+// run executes one worker's step program. It performs no allocations.
+func runItems(items []schedItem) {
+	for i := range items {
+		it := &items[i]
+		switch it.kind {
+		case kernelItem:
+			it.kern(it.env, it.reg)
+		case copyItem:
+			grid.CopyRegion(it.dst, it.src, it.reg)
+		case barrierItem:
+			it.bar.Wait()
+		}
+	}
+}
+
+// scheduleCompiler accumulates per-worker item lists while walking a plan.
+type scheduleCompiler struct {
+	p     *plan
+	prog  *stencil.KernelProgram
+	teams []*sched.Team
+	out   *grid.Field
+	// exts[s] is stage s's combined input extent, the interior-split
+	// boundary width (identical to what splitKernel uses at run time).
+	exts []stencil.Extent
+	sch  *Schedule
+	// binds caches border-bound environment clones: pieces with the same
+	// pinned coordinates share one clone across stages and blocks.
+	binds map[bindKey]*stencil.Env
+}
+
+// bindKey identifies a border binding of an environment.
+type bindKey struct {
+	env    *stencil.Env
+	pinned [3]bool
+	pin    [3]int
+}
+
+func newScheduleCompiler(p *plan, prog *stencil.KernelProgram, teams []*sched.Team, out *grid.Field) *scheduleCompiler {
+	c := &scheduleCompiler{p: p, prog: prog, teams: teams, out: out, sch: &Schedule{},
+		binds: make(map[bindKey]*stencil.Env)}
+	c.exts = make([]stencil.Extent, len(prog.Stages))
+	for s := range prog.Stages {
+		c.exts[s] = stencil.InputsExtent(prog.Stages[s].Inputs)
+	}
+	c.sch.items = make([][][]schedItem, len(teams))
+	for t, team := range teams {
+		c.sch.items[t] = make([][]schedItem, team.Size())
+	}
+	return c
+}
+
+// totalCores returns the worker count across all teams.
+func (c *scheduleCompiler) totalCores() int {
+	n := 0
+	for _, t := range c.teams {
+		n += t.Size()
+	}
+	return n
+}
+
+// addKernel appends stage s over region r to worker (t, w), pre-splitting
+// split-kernel stages at plan time. The interior runs the fast path on the
+// plain environment; the boundary shell is decomposed into pinned pieces
+// (stencil.BorderPieces), each of which also runs the fast path — on an
+// environment clone bound to the piece, whose resolved steps fold the
+// boundary condition into the flat strides. Every cell thus reads exactly
+// the elements the generic AtP path would, so results stay bit-identical to
+// the combined kernel while the per-cell boundary checks disappear from the
+// steady-state loop entirely.
+func (c *scheduleCompiler) addKernel(t, w, s int, env *stencil.Env, r grid.Region) {
+	if r.Empty() {
+		return
+	}
+	fast, _, ok := c.prog.SplitPaths(s)
+	if !ok {
+		c.push(t, w, schedItem{kind: kernelItem, kern: c.prog.Kernels[s], env: env, reg: r})
+		return
+	}
+	interior, pieces := stencil.BorderPieces(r, c.exts[s], c.p.domain)
+	if !interior.Empty() {
+		c.push(t, w, schedItem{kind: kernelItem, kern: fast, env: env, reg: interior})
+	}
+	for _, pc := range pieces {
+		c.push(t, w, schedItem{kind: kernelItem, kern: fast, env: c.bindEnv(env, pc), reg: pc.Region})
+	}
+}
+
+// bindEnv returns env bound to piece pc, reusing clones across pieces with
+// identical pinned coordinates (common across stages and blocks).
+func (c *scheduleCompiler) bindEnv(env *stencil.Env, pc stencil.BorderPiece) *stencil.Env {
+	k := bindKey{env: env, pinned: pc.Pinned, pin: pc.Pin}
+	if b, ok := c.binds[k]; ok {
+		return b
+	}
+	b := env.BindPiece(pc)
+	c.binds[k] = b
+	return b
+}
+
+func (c *scheduleCompiler) push(t, w int, it schedItem) {
+	c.sch.items[t][w] = append(c.sch.items[t][w], it)
+}
+
+// newBarrier creates and registers a barrier of n participants.
+func (c *scheduleCompiler) newBarrier(n int) *sched.Barrier {
+	b := sched.NewBarrier(n)
+	c.sch.barriers = append(c.sch.barriers, b)
+	return b
+}
+
+// addGlobalBarrier appends one wait at bar to every worker of every team.
+func (c *scheduleCompiler) addGlobalBarrier(bar *sched.Barrier) {
+	for t, team := range c.teams {
+		for w := 0; w < team.Size(); w++ {
+			c.push(t, w, schedItem{kind: barrierItem, bar: bar})
+		}
+	}
+}
+
+// addTeamBarrier appends one wait at bar to every worker of team t.
+func (c *scheduleCompiler) addTeamBarrier(t int, bar *sched.Barrier) {
+	for w := 0; w < c.teams[t].Size(); w++ {
+		c.push(t, w, schedItem{kind: barrierItem, bar: bar})
+	}
+}
+
+// compileSchedule builds the compiled one-step program for the runner's
+// strategy. envs/workerEnvs mirror Runner's environment layout.
+func compileSchedule(p *plan, prog *stencil.KernelProgram, teams []*sched.Team,
+	envs []*stencil.Env, workerEnvs [][]*stencil.Env, out *grid.Field) *Schedule {
+	c := newScheduleCompiler(p, prog, teams, out)
+	switch {
+	case p.cfg.Strategy == Original:
+		c.compileOriginal(envs[0])
+	case p.cfg.Strategy == Plus31D:
+		c.compilePlus31D(envs[0])
+	case p.cfg.CoreIslands:
+		c.compileCoreIslands(workerEnvs)
+	default:
+		c.compileIslands(envs)
+	}
+	return c.sch
+}
+
+// compileOriginal: every stage sweeps the whole domain chunked along i over
+// all cores of the machine; consecutive stages meet at a machine-wide
+// barrier. Feedback is a buffer swap performed by the driver after the step
+// join (replacing the full-grid copyFeedback sweep).
+func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
+	cores := c.totalCores()
+	global := c.newBarrier(cores)
+	first := true
+	for s := range c.prog.Stages {
+		if !first {
+			c.addGlobalBarrier(global)
+		}
+		first = false
+		chunks := c.p.stageChunks(0, s, 0, 0, cores)
+		for t, team := range c.teams {
+			for w := 0; w < team.Size(); w++ {
+				c.addKernel(t, w, s, env, chunks[team.Cores[w]])
+			}
+		}
+	}
+	c.sch.swapFeedback = true
+}
+
+// compilePlus31D: cache blocks in sequence; within a block every stage is
+// chunked along j over all cores with a machine-wide barrier per stage.
+func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
+	cores := c.totalCores()
+	global := c.newBarrier(cores)
+	first := true
+	for b := range c.p.blocks[0] {
+		for s := range c.prog.Stages {
+			if c.p.spans[0][s][b].Empty() {
+				continue
+			}
+			if !first {
+				c.addGlobalBarrier(global)
+			}
+			first = false
+			chunks := c.p.stageChunks(0, s, b, 1, cores)
+			for t, team := range c.teams {
+				for w := 0; w < team.Size(); w++ {
+					c.addKernel(t, w, s, env, chunks[team.Cores[w]])
+				}
+			}
+		}
+	}
+	c.sch.swapFeedback = true
+}
+
+// compileIslands: each team walks its island's blocks and stages with
+// per-stage team barriers; a single global barrier separates compute from
+// the publish copies (islands read each other's feedback halos, so no
+// island may publish before all have finished computing).
+func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
+	for t, team := range c.teams {
+		n := team.Size()
+		tbar := c.newBarrier(n)
+		first := true
+		for b := range c.p.blocks[t] {
+			for s := range c.prog.Stages {
+				if c.p.spans[t][s][b].Empty() {
+					continue
+				}
+				if !first {
+					c.addTeamBarrier(t, tbar)
+				}
+				first = false
+				chunks := c.p.stageChunks(t, s, b, 1, n)
+				for w := 0; w < n; w++ {
+					c.addKernel(t, w, s, envs[t], chunks[w])
+				}
+			}
+		}
+	}
+	global := c.newBarrier(c.totalCores())
+	c.addGlobalBarrier(global)
+	for t, team := range c.teams {
+		n := team.Size()
+		src := envs[t].Field(c.prog.Output)
+		chunks := splitPart(c.p.parts[t], n)
+		for w := 0; w < n; w++ {
+			if !chunks[w].Empty() {
+				c.push(t, w, schedItem{kind: copyItem, dst: c.out, src: src, reg: chunks[w]})
+			}
+		}
+	}
+}
+
+// compileCoreIslands: every worker is its own sub-island sweeping all blocks
+// and stages over its private j-trapezoids with no synchronization until the
+// global end-of-compute barrier, then publishes its exact sub-part.
+func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
+	for t, team := range c.teams {
+		n := team.Size()
+		subs := splitPart(c.p.parts[t], n)
+		for w := 0; w < n; w++ {
+			env := workerEnvs[t][w]
+			for b := range c.p.blocks[t] {
+				for s := range c.prog.Stages {
+					c.addKernel(t, w, s, env, c.p.workerRegion(t, s, b, subs[w]))
+				}
+			}
+		}
+	}
+	global := c.newBarrier(c.totalCores())
+	c.addGlobalBarrier(global)
+	for t, team := range c.teams {
+		n := team.Size()
+		subs := splitPart(c.p.parts[t], n)
+		for w := 0; w < n; w++ {
+			if !subs[w].Empty() {
+				c.push(t, w, schedItem{kind: copyItem, dst: c.out, src: workerEnvs[t][w].Field(c.prog.Output), reg: subs[w]})
+			}
+		}
+	}
+}
+
+// ScheduleStats summarizes a compiled schedule for inspection.
+type ScheduleStats struct {
+	// KernelItems / CopyItems / BarrierWaits count items summed over all
+	// workers; Barriers counts distinct barrier objects.
+	KernelItems  int
+	CopyItems    int
+	BarrierWaits int
+	Barriers     int
+	// MaxItemsPerWorker is the longest per-worker step program.
+	MaxItemsPerWorker int
+	// SwapFeedback mirrors Schedule.SwapFeedback.
+	SwapFeedback bool
+}
+
+// Stats summarizes the schedule.
+func (s *Schedule) Stats() ScheduleStats {
+	st := ScheduleStats{Barriers: len(s.barriers), SwapFeedback: s.swapFeedback}
+	for _, team := range s.items {
+		for _, items := range team {
+			if len(items) > st.MaxItemsPerWorker {
+				st.MaxItemsPerWorker = len(items)
+			}
+			for i := range items {
+				switch items[i].kind {
+				case kernelItem:
+					st.KernelItems++
+				case copyItem:
+					st.CopyItems++
+				case barrierItem:
+					st.BarrierWaits++
+				}
+			}
+		}
+	}
+	return st
+}
+
+func (st ScheduleStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %d kernel items, %d copy items, %d waits at %d barriers, max %d items/worker, feedback=",
+		st.KernelItems, st.CopyItems, st.BarrierWaits, st.Barriers, st.MaxItemsPerWorker)
+	if st.SwapFeedback {
+		b.WriteString("swap")
+	} else {
+		b.WriteString("copy")
+	}
+	return b.String()
+}

@@ -245,6 +245,17 @@ func (f *Field) Max() float64 {
 	return m
 }
 
+// SwapData exchanges the backing storage of two fields of identical size.
+// Holders of either *Field observe the other's contents afterwards — the
+// double-buffer feedback of the compiled executor uses this to publish a
+// step's output into the feedback input in O(1) instead of a full-grid copy.
+func SwapData(a, b *Field) {
+	if a.Size != b.Size {
+		panic(fmt.Sprintf("grid: size mismatch %v vs %v", a.Size, b.Size))
+	}
+	a.Data, b.Data = b.Data, a.Data
+}
+
 // CopyRegion copies the cells of region r from src into dst. Both fields
 // must have identical sizes.
 func CopyRegion(dst, src *Field, r Region) {

@@ -363,3 +363,26 @@ func TestCopyRegionDirect(t *testing.T) {
 	}()
 	CopyRegion(NewField("small", Sz(2, 2, 2)), src, r)
 }
+
+// TestSwapData checks the O(1) buffer exchange used by the buffer-swap
+// feedback path: contents trade places, other metadata stays put, and a size
+// mismatch panics.
+func TestSwapData(t *testing.T) {
+	a := NewField("a", Sz(2, 3, 4))
+	b := NewField("b", Sz(2, 3, 4))
+	a.Fill(1)
+	b.Fill(2)
+	SwapData(a, b)
+	if a.Data[0] != 2 || b.Data[0] != 1 {
+		t.Fatalf("SwapData did not exchange buffers: a=%v b=%v", a.Data[0], b.Data[0])
+	}
+	if a.Name() != "a" || b.Name() != "b" {
+		t.Fatal("SwapData must not exchange names")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected size-mismatch panic")
+		}
+	}()
+	SwapData(a, NewField("c", Sz(1, 1, 1)))
+}

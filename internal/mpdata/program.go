@@ -72,22 +72,13 @@ func off(di, dj, dk int) stencil.Offset { return stencil.Offset{DI: di, DJ: dj, 
 // center is the single zero offset.
 var center = []stencil.Offset{off(0, 0, 0)}
 
-// inputsExtent returns the combined read extent of a stage's inputs.
-func inputsExtent(inputs []stencil.Input) stencil.Extent {
-	var e stencil.Extent
-	for _, in := range inputs {
-		e = e.Max(stencil.OffsetsExtent(in.Offsets))
-	}
-	return e
-}
-
 // splitKernel builds a kernel that runs the stride-based fast path on the
 // region's interior (where every read stays in-domain, so flat indexing is
 // safe) and the generic boundary-condition path on the remaining shell.
 // Kernels built this way are several times faster on production-shaped
 // regions while remaining bit-identical to the generic path.
 func splitKernel(inputs []stencil.Input, fast, slow stencil.Kernel) stencil.Kernel {
-	ext := inputsExtent(inputs)
+	ext := stencil.InputsExtent(inputs)
 	return func(env *stencil.Env, r grid.Region) {
 		interior, border := stencil.InteriorSplit(r, ext, env.Domain)
 		if !interior.Empty() {
@@ -137,7 +128,7 @@ func fluxStageNamed(name, uName string, di, dj, dk int, psiName string) stencil.
 		psi := env.Field(psiName).Data
 		u := env.Field(uName).Data
 		out := env.Field(name).Data
-		d := stencil.OffsetStride(env.Domain, off(di, dj, dk))
+		d := env.OffsetStride(off(di, dj, dk))
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
 			for n := base; n < base+nk; n++ {
@@ -147,7 +138,7 @@ func fluxStageNamed(name, uName string, di, dj, dk int, psiName string) stencil.
 	}
 	return stencil.KernelStage{
 		Stage:  stencil.Stage{Name: name, Inputs: inputs, Flops: 5},
-		Kernel: splitKernel(inputs, fast, slow),
+		Kernel: splitKernel(inputs, fast, slow), Fast: fast, Slow: slow,
 	}
 }
 
@@ -190,16 +181,18 @@ func extremaStageNamed(name string, isMax bool, curName string) stencil.KernelSt
 		psi := env.Field(InPsi).Data
 		cur := env.Field(curName).Data
 		out := env.Field(name).Data
-		si, sj, _ := stencil.Strides(env.Domain)
+		siN, siP := env.Step(0, -1), env.Step(0, 1)
+		sjN, sjP := env.Step(1, -1), env.Step(1, 1)
+		skN, skP := env.Step(2, -1), env.Step(2, 1)
 		nk := r.K1 - r.K0
 		if isMax {
 			stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
 				for n := base; n < base+nk; n++ {
 					m := psi[n]
 					for _, v := range [13]float64{
-						cur[n], psi[n-si], cur[n-si], psi[n+si], cur[n+si],
-						psi[n-sj], cur[n-sj], psi[n+sj], cur[n+sj],
-						psi[n-1], cur[n-1], psi[n+1], cur[n+1],
+						cur[n], psi[n+siN], cur[n+siN], psi[n+siP], cur[n+siP],
+						psi[n+sjN], cur[n+sjN], psi[n+sjP], cur[n+sjP],
+						psi[n+skN], cur[n+skN], psi[n+skP], cur[n+skP],
 					} {
 						if v > m {
 							m = v
@@ -214,9 +207,9 @@ func extremaStageNamed(name string, isMax bool, curName string) stencil.KernelSt
 			for n := base; n < base+nk; n++ {
 				m := psi[n]
 				for _, v := range [13]float64{
-					cur[n], psi[n-si], cur[n-si], psi[n+si], cur[n+si],
-					psi[n-sj], cur[n-sj], psi[n+sj], cur[n+sj],
-					psi[n-1], cur[n-1], psi[n+1], cur[n+1],
+					cur[n], psi[n+siN], cur[n+siN], psi[n+siP], cur[n+siP],
+					psi[n+sjN], cur[n+sjN], psi[n+sjP], cur[n+sjP],
+					psi[n+skN], cur[n+skN], psi[n+skP], cur[n+skP],
 				} {
 					if v < m {
 						m = v
@@ -228,7 +221,7 @@ func extremaStageNamed(name string, isMax bool, curName string) stencil.KernelSt
 	}
 	return stencil.KernelStage{
 		Stage:  stencil.Stage{Name: name, Inputs: inputs, Flops: 13},
-		Kernel: splitKernel(inputs, fast, slow),
+		Kernel: splitKernel(inputs, fast, slow), Fast: fast, Slow: slow,
 	}
 }
 
@@ -316,9 +309,13 @@ func pseudoVelStageNamed(name string, dir int, curName, v1Name, v2Name, v3Name s
 		h := env.Field(InH).Data
 		out := env.Field(name).Data
 		dom := env.Domain
-		sd := stencil.OffsetStride(dom, d)
-		sa := stencil.OffsetStride(dom, a)
-		sb := stencil.OffsetStride(dom, b)
+		// Per-direction steps resolved by the environment: on a border-bound
+		// env the +d / ±a / ±b displacements already encode the boundary
+		// condition, and dimensions are resolved independently (as in AtP),
+		// so composite offsets are sums of the per-direction steps.
+		sd := env.OffsetStride(d)
+		saP, saN := env.OffsetStride(a), env.OffsetStride(neg(a))
+		sbP, sbN := env.OffsetStride(b), env.OffsetStride(neg(b))
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(dom, r, func(_, _, base int) {
 			for n := base; n < base+nk; n++ {
@@ -328,16 +325,16 @@ func pseudoVelStageNamed(name string, dir int, curName, v1Name, v2Name, v3Name s
 				p0, pd := ps[n], ps[n+sd]
 				aTerm := (pd - p0) / (pd + p0 + Eps)
 
-				paP := ps[n+sa] + ps[n+sd+sa]
-				paM := ps[n-sa] + ps[n+sd-sa]
+				paP := ps[n+saP] + ps[n+sd+saP]
+				paM := ps[n+saN] + ps[n+sd+saN]
 				bA := 0.5 * (paP - paM) / (paP + paM + Eps)
 
-				pbP := ps[n+sb] + ps[n+sd+sb]
-				pbM := ps[n-sb] + ps[n+sd-sb]
+				pbP := ps[n+sbP] + ps[n+sd+sbP]
+				pbM := ps[n+sbN] + ps[n+sd+sbN]
 				bB := 0.5 * (pbP - pbM) / (pbP + pbM + Eps)
 
-				uaBar := 0.25 * (ua[n] + ua[n-sa] + ua[n+sd] + ua[n+sd-sa])
-				ubBar := 0.25 * (ub[n] + ub[n-sb] + ub[n+sd] + ub[n+sd-sb])
+				uaBar := 0.25 * (ua[n] + ua[n+saN] + ua[n+sd] + ua[n+sd+saN])
+				ubBar := 0.25 * (ub[n] + ub[n+sbN] + ub[n+sd] + ub[n+sd+sbN])
 
 				au := absf(uf)
 				out[n] = au*(1-au/hbar)*aTerm - uf*(uaBar*bA+ubBar*bB)/hbar
@@ -346,7 +343,7 @@ func pseudoVelStageNamed(name string, dir int, curName, v1Name, v2Name, v3Name s
 	}
 	return stencil.KernelStage{
 		Stage:  stencil.Stage{Name: name, Inputs: inputs, Flops: 34},
-		Kernel: splitKernel(inputs, fast, slow),
+		Kernel: splitKernel(inputs, fast, slow), Fast: fast, Slow: slow,
 	}
 }
 
@@ -410,26 +407,28 @@ func limiterFluxStageNamed(name string, in bool, curName, v1Name, v2Name, v3Name
 		v3 := env.Field(v3Name).Data
 		ps := env.Field(curName).Data
 		out := env.Field(name).Data
-		si, sj, _ := stencil.Strides(env.Domain)
+		siN, siP := env.Step(0, -1), env.Step(0, 1)
+		sjN, sjP := env.Step(1, -1), env.Step(1, 1)
+		skN, skP := env.Step(2, -1), env.Step(2, 1)
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
 			for n := base; n < base+nk; n++ {
 				if in {
-					out[n] = maxf(v1[n-si], 0)*ps[n-si] - minf(v1[n], 0)*ps[n+si] +
-						maxf(v2[n-sj], 0)*ps[n-sj] - minf(v2[n], 0)*ps[n+sj] +
-						maxf(v3[n-1], 0)*ps[n-1] - minf(v3[n], 0)*ps[n+1]
+					out[n] = maxf(v1[n+siN], 0)*ps[n+siN] - minf(v1[n], 0)*ps[n+siP] +
+						maxf(v2[n+sjN], 0)*ps[n+sjN] - minf(v2[n], 0)*ps[n+sjP] +
+						maxf(v3[n+skN], 0)*ps[n+skN] - minf(v3[n], 0)*ps[n+skP]
 				} else {
 					p0 := ps[n]
-					out[n] = (maxf(v1[n], 0)-minf(v1[n-si], 0))*p0 +
-						(maxf(v2[n], 0)-minf(v2[n-sj], 0))*p0 +
-						(maxf(v3[n], 0)-minf(v3[n-1], 0))*p0
+					out[n] = (maxf(v1[n], 0)-minf(v1[n+siN], 0))*p0 +
+						(maxf(v2[n], 0)-minf(v2[n+sjN], 0))*p0 +
+						(maxf(v3[n], 0)-minf(v3[n+skN], 0))*p0
 				}
 			}
 		})
 	}
 	return stencil.KernelStage{
 		Stage:  stencil.Stage{Name: name, Inputs: inputs, Flops: 17},
-		Kernel: splitKernel(inputs, fast, slow),
+		Kernel: splitKernel(inputs, fast, slow), Fast: fast, Slow: slow,
 	}
 }
 
@@ -461,7 +460,7 @@ func betaStageNamed(name string, up bool, curName, extName, fluxName string) ste
 	}
 	return stencil.KernelStage{
 		Stage:  stencil.Stage{Name: name, Inputs: inputs, Flops: 4},
-		Kernel: splitKernel(inputs, fast, fast),
+		Kernel: splitKernel(inputs, fast, fast), Fast: fast, Slow: fast,
 	}
 }
 
@@ -496,7 +495,7 @@ func limitedFluxStageNamed(name, vName string, di, dj, dk int, curName, buName, 
 		bu := env.Field(buName).Data
 		bd := env.Field(bdName).Data
 		out := env.Field(name).Data
-		sd := stencil.OffsetStride(env.Domain, dOff)
+		sd := env.OffsetStride(dOff)
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
 			for n := base; n < base+nk; n++ {
@@ -510,7 +509,7 @@ func limitedFluxStageNamed(name, vName string, di, dj, dk int, curName, buName, 
 	}
 	return stencil.KernelStage{
 		Stage:  stencil.Stage{Name: name, Inputs: inputs, Flops: 10},
-		Kernel: splitKernel(inputs, fast, slow),
+		Kernel: splitKernel(inputs, fast, slow), Fast: fast, Slow: slow,
 	}
 }
 
@@ -542,17 +541,17 @@ func psiNewStageNamed(name, baseName, g1Name, g2Name, g3Name string) stencil.Ker
 		g2 := env.Field(g2Name).Data
 		g3 := env.Field(g3Name).Data
 		out := env.Field(name).Data
-		si, sj, _ := stencil.Strides(env.Domain)
+		siN, sjN, skN := env.Step(0, -1), env.Step(1, -1), env.Step(2, -1)
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
 			for n := base; n < base+nk; n++ {
-				div := g1[n] - g1[n-si] + g2[n] - g2[n-sj] + g3[n] - g3[n-1]
+				div := g1[n] - g1[n+siN] + g2[n] - g2[n+sjN] + g3[n] - g3[n+skN]
 				out[n] = bs[n] - div/h[n]
 			}
 		})
 	}
 	return stencil.KernelStage{
 		Stage:  stencil.Stage{Name: name, Inputs: inputs, Flops: 7},
-		Kernel: splitKernel(inputs, fast, slow),
+		Kernel: splitKernel(inputs, fast, slow), Fast: fast, Slow: slow,
 	}
 }

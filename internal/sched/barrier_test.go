@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBarrierPhases drives many workers through many phases and checks that
+// no worker enters phase p+1 before every worker has finished phase p.
+func TestBarrierPhases(t *testing.T) {
+	const workers = 7
+	const phases = 200
+	team := NewTeam(0, 0, workers, 0)
+	defer team.Close()
+	bar := NewBarrier(workers)
+
+	var done [phases]atomic.Int32
+	team.Run(func(w int) {
+		for p := 0; p < phases; p++ {
+			done[p].Add(1)
+			bar.Wait()
+			if got := done[p].Load(); got != workers {
+				panic("barrier released early")
+			}
+		}
+	})
+	for p := range done {
+		if done[p].Load() != workers {
+			t.Fatalf("phase %d: %d/%d workers finished", p, done[p].Load(), workers)
+		}
+	}
+}
+
+func TestBarrierSingleParticipant(t *testing.T) {
+	bar := NewBarrier(1)
+	for i := 0; i < 3; i++ {
+		bar.Wait() // must not block
+	}
+	if bar.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", bar.Size())
+	}
+}
+
+// TestBarrierAbort poisons a barrier while workers are parked at it: every
+// waiter must unwind with a panic instead of deadlocking, and later Waits
+// must panic immediately.
+func TestBarrierAbort(t *testing.T) {
+	const workers = 4
+	team := NewTeam(0, 0, workers, 0)
+	defer team.Close()
+	bar := NewBarrier(workers + 1) // one participant short: all waiters park
+
+	team.Dispatch(func(w int) { bar.Wait() })
+	bar.Abort()
+	p := team.WaitRecover()
+	if p == nil || !strings.Contains(p.(string), "barrier aborted") {
+		t.Fatalf("workers did not panic with abort, got %v", p)
+	}
+	if !bar.Aborted() {
+		t.Fatal("Aborted() = false after Abort")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wait after Abort did not panic")
+		}
+	}()
+	bar.Wait()
+}
+
+func TestNewBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+// TestRunFns checks that each team executes its own function exactly once per
+// worker, and that a length mismatch panics.
+func TestRunFns(t *testing.T) {
+	s := NewSized(3, 4)
+	defer s.Close()
+
+	var counts [3]atomic.Int32
+	fns := make([]func(int), 3)
+	for i := range fns {
+		i := i
+		fns[i] = func(w int) { counts[i].Add(1) }
+	}
+	for round := 0; round < 5; round++ {
+		s.RunFns(fns)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 5*4 {
+			t.Fatalf("team %d ran %d times, want %d", i, got, 20)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunFns with wrong length did not panic")
+		}
+	}()
+	s.RunFns(fns[:2])
+}
+
+// TestDispatchWaitAllocFree verifies the steady-state property the compiled
+// schedule relies on: dispatching a prebuilt closure allocates nothing.
+func TestDispatchWaitAllocFree(t *testing.T) {
+	team := NewTeam(0, 0, 4, 0)
+	defer team.Close()
+	fn := func(w int) {}
+	team.Run(fn) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		team.Dispatch(fn)
+		team.Wait()
+	})
+	if allocs != 0 {
+		t.Fatalf("Dispatch+Wait allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,38 @@
+package sched
+
+import "testing"
+
+// benchWorkers mirrors one island of the simulated UV 2000 (8 cores/node), so
+// BenchmarkTeamBarrier and BenchmarkTeamRun compare the two per-stage
+// synchronization mechanisms at the team size the compute backend uses.
+const benchWorkers = 8
+
+// BenchmarkTeamBarrier measures one phase crossing of a reusable barrier:
+// the per-stage join of the compiled-schedule executor. The workers are
+// dispatched once and then meet at the barrier b.N times.
+func BenchmarkTeamBarrier(b *testing.B) {
+	t := NewTeam(0, 0, benchWorkers, 0)
+	defer t.Close()
+	bar := NewBarrier(benchWorkers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	t.Run(func(w int) {
+		for i := 0; i < b.N; i++ {
+			bar.Wait()
+		}
+	})
+}
+
+// BenchmarkTeamRun measures one dispatch+join round trip through the team's
+// work channels: the per-stage cost of the pre-compiled-schedule executor,
+// for comparison with BenchmarkTeamBarrier.
+func BenchmarkTeamRun(b *testing.B) {
+	t := NewTeam(0, 0, benchWorkers, 0)
+	defer t.Close()
+	fn := func(w int) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Run(fn)
+	}
+}

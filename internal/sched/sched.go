@@ -10,11 +10,108 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"islands/internal/topology"
 )
+
+// barrierSpin is how many cooperative yields a worker attempts before
+// parking on the barrier's condition variable. Workers of one island are
+// expected to arrive close together (they just finished equal chunks of the
+// same stage), so a short spin usually avoids the sleep/wake round trip; the
+// blocking fallback keeps oversubscribed machines (more workers than
+// GOMAXPROCS) from burning the scheduler.
+const barrierSpin = 32
+
+// Barrier is a reusable sense-reversing phase barrier: n participants call
+// Wait repeatedly, and each call returns only once all n have arrived at the
+// same phase. Unlike a dispatch+join through Team.Run, a phase crossing
+// performs no channel operations and no allocations — it is the cheap
+// per-stage synchronization point of a compiled execution schedule.
+//
+// Abort poisons the barrier: it releases every current and future waiter by
+// panicking in them, so a panicking worker cannot strand its teammates at
+// the next phase.
+type Barrier struct {
+	n       int
+	gen     atomic.Uint32
+	arrived atomic.Int32
+	aborted atomic.Bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sched: barrier needs at least one participant")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Size returns the number of participants.
+func (b *Barrier) Size() int { return b.n }
+
+// Wait blocks until all participants have arrived at the current phase.
+// The generation counter is loaded before registering the arrival: a
+// participant can only be calling Wait for the phase it has not yet passed,
+// so the loaded generation is exactly the phase it arrives at, and the flip
+// (performed by the last arriver) cannot happen before its own arrival.
+func (b *Barrier) Wait() {
+	if b.aborted.Load() {
+		panic("sched: barrier aborted")
+	}
+	if b.n == 1 {
+		return
+	}
+	gen := b.gen.Load()
+	if int(b.arrived.Add(1)) == b.n {
+		// Last arriver: reset the count for the next phase, then flip
+		// the generation under the mutex so parked waiters cannot miss
+		// the wakeup.
+		b.arrived.Store(0)
+		b.mu.Lock()
+		b.gen.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for spin := 0; spin < barrierSpin; spin++ {
+		if b.gen.Load() != gen {
+			if b.aborted.Load() {
+				panic("sched: barrier aborted")
+			}
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	if b.aborted.Load() {
+		panic("sched: barrier aborted")
+	}
+}
+
+// Abort poisons the barrier and releases every waiter (current and future)
+// by panicking in them. It is called when a participant dies mid-phase, so
+// the survivors unwind instead of deadlocking at the next Wait.
+func (b *Barrier) Abort() {
+	b.aborted.Store(true)
+	b.mu.Lock()
+	b.gen.Add(1)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Aborted reports whether the barrier has been poisoned.
+func (b *Barrier) Aborted() bool { return b.aborted.Load() }
 
 // Team is a fixed group of workers (one per core of an island) executing
 // SPMD regions. Run dispatches a function to every worker and joins — a
@@ -94,14 +191,37 @@ func (t *Team) runOne(fn func(worker int), w int) {
 // afterwards (shared state under a panicking parallel region is undefined)
 // and every later Run re-raises the same panic.
 func (t *Team) Run(fn func(worker int)) {
+	t.Dispatch(fn)
+	t.Wait()
+}
+
+// Dispatch sends fn to every worker without waiting for completion. Sending
+// an existing func value performs no allocation, so a caller holding
+// precompiled per-team closures can drive the whole machine alloc-free.
+// Every Dispatch must be paired with exactly one Wait before the next
+// Dispatch on the same team.
+func (t *Team) Dispatch(fn func(worker int)) {
 	t.wg.Add(t.Size())
 	for w := 0; w < t.Size(); w++ {
 		t.work[w] <- fn
 	}
+}
+
+// Wait joins a Dispatch, re-raising the first worker panic (the team is
+// poisoned afterwards, like Run).
+func (t *Team) Wait() {
 	t.wg.Wait()
 	if p := t.panicked.Load(); p != nil {
 		panic(p)
 	}
+}
+
+// WaitRecover joins a Dispatch and returns the first worker panic value (or
+// nil) instead of re-raising, so a multi-team driver can join every team
+// before propagating a failure.
+func (t *Team) WaitRecover() any {
+	t.wg.Wait()
+	return t.panicked.Load()
 }
 
 // Close terminates the team's workers. The team cannot be reused.
@@ -150,19 +270,44 @@ func (s *Scheduler) TotalCores() int {
 }
 
 // RunAll executes fn(team, worker) SPMD across every worker of every team
-// and joins — the machine-wide dispatch used by the original and pure
-// (3+1)D strategies, where all cores cooperate on the same region.
+// and joins. It dispatches directly to the persistent workers (no goroutine
+// per team), joins every team before returning, and re-raises the first
+// worker panic only after all teams have quiesced.
 func (s *Scheduler) RunAll(fn func(team, worker int)) {
-	var wg sync.WaitGroup
-	wg.Add(len(s.Teams))
 	for _, t := range s.Teams {
 		t := t
-		go func() {
-			defer wg.Done()
-			t.Run(func(w int) { fn(t.ID, w) })
-		}()
+		t.Dispatch(func(w int) { fn(t.ID, w) })
 	}
-	wg.Wait()
+	s.joinAll()
+}
+
+// RunFns dispatches fns[t] to every worker of team t and joins the whole
+// machine. With closures precompiled once (per team, not per call), a RunFns
+// round performs no allocations — it is the steady-state dispatch of the
+// compiled-schedule executor: one round per time step, with all per-stage
+// synchronization handled by Barriers inside the worker functions.
+func (s *Scheduler) RunFns(fns []func(worker int)) {
+	if len(fns) != len(s.Teams) {
+		panic(fmt.Sprintf("sched: RunFns got %d fns for %d teams", len(fns), len(s.Teams)))
+	}
+	for i, t := range s.Teams {
+		t.Dispatch(fns[i])
+	}
+	s.joinAll()
+}
+
+// joinAll waits for every team and re-raises the first recorded panic after
+// all workers have quiesced (so no dispatch is left dangling).
+func (s *Scheduler) joinAll() {
+	var p any
+	for _, t := range s.Teams {
+		if r := t.WaitRecover(); r != nil && p == nil {
+			p = r
+		}
+	}
+	if p != nil {
+		panic(p)
+	}
 }
 
 // RunTeams executes one driver function per team concurrently and joins when

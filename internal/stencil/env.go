@@ -12,16 +12,38 @@ import (
 // tests cross-check declared patterns against actual behaviour.
 type Kernel func(env *Env, r grid.Region)
 
-// KernelStage pairs a Stage description with its executable kernel.
+// KernelStage pairs a Stage description with its executable kernel. Stages
+// may additionally expose the two halves of an interior/border split kernel
+// (Fast runs where every read at the stage's declared offsets stays
+// in-domain, Slow anywhere): a schedule compiler can then perform the
+// InteriorSplit once at plan time instead of on every kernel invocation.
 type KernelStage struct {
 	Stage
 	Kernel Kernel
+	// Fast and Slow, when both non-nil, are the pre-split paths of Kernel:
+	// Kernel(env, r) must be equivalent to Fast on the interior of r (per
+	// InteriorSplit with the stage's input extent) and Slow on the border
+	// shell. Nil means the stage has no split form.
+	Fast, Slow Kernel
 }
 
 // KernelProgram is a Program whose stages carry executable kernels.
 type KernelProgram struct {
 	Program
 	Kernels []Kernel // parallel to Program.Stages
+	// FastKernels/SlowKernels hold the pre-split kernel paths (nil entries
+	// for stages without a split form); parallel to Program.Stages.
+	FastKernels []Kernel
+	SlowKernels []Kernel
+}
+
+// SplitPaths returns stage s's pre-split kernel paths, or ok=false when the
+// stage only has the combined kernel.
+func (p *KernelProgram) SplitPaths(s int) (fast, slow Kernel, ok bool) {
+	if p.FastKernels == nil || p.FastKernels[s] == nil || p.SlowKernels[s] == nil {
+		return nil, nil, false
+	}
+	return p.FastKernels[s], p.SlowKernels[s], true
 }
 
 // BuildProgram assembles a KernelProgram from kernel stages.
@@ -32,6 +54,8 @@ func BuildProgram(name string, stepInputs []string, output string, stages []Kern
 	for _, ks := range stages {
 		kp.Stages = append(kp.Stages, ks.Stage)
 		kp.Kernels = append(kp.Kernels, ks.Kernel)
+		kp.FastKernels = append(kp.FastKernels, ks.Fast)
+		kp.SlowKernels = append(kp.SlowKernels, ks.Slow)
 	}
 	if err := kp.Validate(); err != nil {
 		return nil, err
@@ -39,6 +63,9 @@ func BuildProgram(name string, stepInputs []string, output string, stages []Kern
 	for i, k := range kp.Kernels {
 		if k == nil {
 			return nil, fmt.Errorf("stencil: stage %q has no kernel", kp.Stages[i].Name)
+		}
+		if (kp.FastKernels[i] == nil) != (kp.SlowKernels[i] == nil) {
+			return nil, fmt.Errorf("stencil: stage %q has only one of Fast/Slow", kp.Stages[i].Name)
 		}
 	}
 	return kp, nil
@@ -61,10 +88,65 @@ const (
 // Env holds the named fields a program executes against: the step inputs and
 // one full-domain output field per stage. Indexing helpers implement the
 // selected boundary condition (Periodic by default).
+//
+// An Env may additionally be bound to a border piece (BindPiece): along each
+// pinned dimension the piece sits at one fixed coordinate, so the
+// boundary-condition resolution of any read offset is uniform over the piece
+// and Step/OffsetStride fold it into the flat-index displacement. Fast
+// kernels that obtain their strides through these methods therefore run
+// unmodified — and unchecked — on boundary planes, which is how the compiled
+// schedule executes most of the border shell without the per-cell AtP path.
 type Env struct {
 	Domain grid.Size
 	BC     Boundary
 	fields map[string]*grid.Field
+	// pinned/pin describe the border binding (all-false = unbound).
+	pinned [3]bool
+	pin    [3]int
+}
+
+// BindPiece returns a shallow clone of e bound to the given border piece.
+// The clone shares e's fields (and thus observes buffer swaps); only offset
+// resolution changes.
+func (e *Env) BindPiece(p BorderPiece) *Env {
+	c := *e
+	c.pinned = p.Pinned
+	c.pin = p.Pin
+	return &c
+}
+
+// Step returns the flat-index displacement of a move of delta cells along
+// dim (0=i, 1=j, 2=k), resolving the boundary condition along pinned
+// dimensions. On an unbound Env it is delta times the dimension's stride.
+func (e *Env) Step(dim, delta int) int {
+	var stride, n, at int
+	switch dim {
+	case 0:
+		stride, n, at = e.Domain.NJ*e.Domain.NK, e.Domain.NI, e.pin[0]
+	case 1:
+		stride, n, at = e.Domain.NK, e.Domain.NJ, e.pin[1]
+	default:
+		stride, n, at = 1, e.Domain.NK, e.pin[2]
+	}
+	if delta == 0 || !e.pinned[dim] {
+		return delta * stride
+	}
+	c := at + delta
+	if e.BC == Periodic {
+		c = Wrap(c, n)
+	} else {
+		c = ClampIdx(c, n)
+	}
+	return (c - at) * stride
+}
+
+// OffsetStride converts a read offset to a flat-index displacement under the
+// environment's border binding (equal to stencil.OffsetStride when unbound).
+// Kernels must resolve composite offsets through this (or per-dimension
+// Step sums) rather than raw strides, so the same code serves interior and
+// pinned border pieces.
+func (e *Env) OffsetStride(o Offset) int {
+	return e.Step(0, o.DI) + e.Step(1, o.DJ) + e.Step(2, o.DK)
 }
 
 // NewEnv creates an execution environment for prog on the given domain,

@@ -35,6 +35,81 @@ func InteriorSplit(r grid.Region, e Extent, domain grid.Size) (interior grid.Reg
 	return interior, border
 }
 
+// BorderPiece is one piece of a region's boundary shell in the pinned
+// decomposition: along every pinned dimension the piece is a single
+// coordinate (Pin), and along every free dimension it spans the interior
+// range, so all reads along free dimensions stay in-domain. Because each
+// pinned dimension has one fixed coordinate, the boundary-condition
+// resolution of every read offset is uniform across the whole piece — a
+// schedule compiler can resolve it once (Env.BindPiece) and run the flat
+// fast-path kernel over the piece instead of the per-cell checked path.
+type BorderPiece struct {
+	Region grid.Region
+	Pinned [3]bool
+	Pin    [3]int
+}
+
+// zone is one choice along a dimension: a pinned single coordinate or the
+// interior span.
+type zone struct {
+	lo, hi int
+	pinned bool
+}
+
+// dimZones cuts [r0, r1) into single-coordinate zones below the interior
+// range [lo, hi), the interior span, and single-coordinate zones above it.
+func dimZones(r0, r1, lo, hi int) []zone {
+	var zs []zone
+	lo = max(lo, r0)
+	hi = min(hi, r1)
+	if hi < lo {
+		// No interior along this dimension: every coordinate is pinned.
+		lo, hi = r1, r1
+	}
+	for c := r0; c < lo; c++ {
+		zs = append(zs, zone{c, c + 1, true})
+	}
+	if hi > lo {
+		zs = append(zs, zone{lo, hi, false})
+	}
+	for c := hi; c < r1; c++ {
+		zs = append(zs, zone{c, c + 1, true})
+	}
+	return zs
+}
+
+// BorderPieces decomposes region r like InteriorSplit — into the interior,
+// where every read within extent e stays in-domain, and the boundary shell —
+// but returns the shell as pinned pieces (the cross product of per-dimension
+// zones, excluding the all-interior combination). The pieces plus the
+// interior tile r exactly and are pairwise disjoint.
+func BorderPieces(r grid.Region, e Extent, domain grid.Size) (interior grid.Region, pieces []BorderPiece) {
+	r = r.Clamp(domain)
+	if r.Empty() {
+		return grid.Region{}, nil
+	}
+	zi := dimZones(r.I0, r.I1, e.ILo, domain.NI-e.IHi)
+	zj := dimZones(r.J0, r.J1, e.JLo, domain.NJ-e.JHi)
+	zk := dimZones(r.K0, r.K1, e.KLo, domain.NK-e.KHi)
+	for _, a := range zi {
+		for _, b := range zj {
+			for _, c := range zk {
+				reg := grid.Region{I0: a.lo, I1: a.hi, J0: b.lo, J1: b.hi, K0: c.lo, K1: c.hi}
+				if !a.pinned && !b.pinned && !c.pinned {
+					interior = reg
+					continue
+				}
+				pieces = append(pieces, BorderPiece{
+					Region: reg,
+					Pinned: [3]bool{a.pinned, b.pinned, c.pinned},
+					Pin:    [3]int{a.lo, b.lo, c.lo},
+				})
+			}
+		}
+	}
+	return interior, pieces
+}
+
 // ForEachRow visits the region row by row: fn receives (i, j) and the flat
 // index of cell (i, j, r.K0); the caller iterates k itself over
 // [base, base + (r.K1-r.K0)). This removes per-cell index arithmetic and

@@ -189,6 +189,19 @@ func OffsetsExtent(offs []Offset) Extent {
 	return e
 }
 
+// InputsExtent returns the combined read extent of a stage's inputs — the
+// extent InteriorSplit needs to separate a region into the part where every
+// declared read stays in-domain and the boundary shell. Split kernels and
+// the schedule compiler must use this same extent so pre-split work items
+// reproduce the combined kernel bit-for-bit.
+func InputsExtent(inputs []Input) Extent {
+	var e Extent
+	for _, in := range inputs {
+		e = e.Max(OffsetsExtent(in.Offsets))
+	}
+	return e
+}
+
 // HaloAnalysis holds the result of the backward dependency analysis: for a
 // program whose final output must be produced on some target region R, stage
 // s must be computed on R grown by StageExtents[s], and step input a must be

@@ -1,0 +1,20 @@
+#!/bin/sh
+# bench.sh — run the compute benchmarks and append the results to
+# BENCH_compute.json (the repository's performance trajectory; see
+# docs/PERFORMANCE.md). Usage:
+#
+#   scripts/bench.sh [label]
+#
+# BENCHTIME overrides the per-benchmark iteration count (default 30x, enough
+# to amortize warm-up on the small benchmark grid).
+set -eu
+cd "$(dirname "$0")/.."
+
+label=${1:-"$(date -u +%Y-%m-%dT%H:%M:%SZ)"}
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkCompute' -benchmem -benchtime "${BENCHTIME:-30x}" . | tee "$tmp"
+go run ./cmd/benchjson -match BenchmarkCompute -o BENCH_compute.json \
+	-label "$label" -commit "$commit" <"$tmp"
