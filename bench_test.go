@@ -236,7 +236,7 @@ func BenchmarkCrossover(b *testing.B) {
 // one MPDATA time step with the given strategy and reports cell throughput
 // and steady-state allocations (the compiled-schedule loop must stay at 0
 // allocs/op).
-func computeBench(b *testing.B, strat exec.Strategy, coreIslands bool) {
+func computeBench(b *testing.B, strat exec.Strategy, coreIslands, disableFusion bool) {
 	b.Helper()
 	domain := grid.Sz(128, 64, 16)
 	m, err := topology.UV2000(2)
@@ -248,7 +248,7 @@ func computeBench(b *testing.B, strat exec.Strategy, coreIslands bool) {
 	state.SetUniformVelocity(0.2, 0.1, 0.05)
 	runner, err := exec.NewRunner(exec.Config{
 		Machine: m, Strategy: strat, CoreIslands: coreIslands,
-		Boundary: stencil.Clamp, Steps: 1, BlockI: 16,
+		Boundary: stencil.Clamp, Steps: 1, BlockI: 16, DisableFusion: disableFusion,
 	}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
 	if err != nil {
 		b.Fatal(err)
@@ -264,10 +264,17 @@ func computeBench(b *testing.B, strat exec.Strategy, coreIslands bool) {
 	b.ReportMetric(float64(domain.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
-func BenchmarkComputeOriginal(b *testing.B)    { computeBench(b, exec.Original, false) }
-func BenchmarkComputePlus31D(b *testing.B)     { computeBench(b, exec.Plus31D, false) }
-func BenchmarkComputeIslands(b *testing.B)     { computeBench(b, exec.IslandsOfCores, false) }
-func BenchmarkComputeCoreIslands(b *testing.B) { computeBench(b, exec.IslandsOfCores, true) }
+func BenchmarkComputeOriginal(b *testing.B)    { computeBench(b, exec.Original, false, false) }
+func BenchmarkComputePlus31D(b *testing.B)     { computeBench(b, exec.Plus31D, false, false) }
+func BenchmarkComputeIslands(b *testing.B)     { computeBench(b, exec.IslandsOfCores, false, false) }
+func BenchmarkComputeCoreIslands(b *testing.B) { computeBench(b, exec.IslandsOfCores, true, false) }
+
+// BenchmarkComputeIslandsNoFuse is the stage-fusion ablation: the same
+// islands schedule compiled with one phase per stage (17 barriers per block
+// instead of 7). The gap to BenchmarkComputeIslands is the fusion payoff.
+func BenchmarkComputeIslandsNoFuse(b *testing.B) {
+	computeBench(b, exec.IslandsOfCores, false, true)
+}
 
 // BenchmarkReferenceSolver measures the sequential reference MPDATA step.
 func BenchmarkReferenceSolver(b *testing.B) {

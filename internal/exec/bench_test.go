@@ -34,7 +34,10 @@ func BenchmarkScheduleBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := compileSchedule(r.plan, prog, r.sch.Teams, r.envs, r.workerEnvs, out)
+		s, err := compileSchedule(r.plan, prog, r.sch.Teams, r.envs, r.workerEnvs, out)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(s.items) == 0 {
 			b.Fatal("empty schedule")
 		}

@@ -89,7 +89,11 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 			r.envs = append(r.envs, env)
 		}
 	}
-	r.schedule = compileSchedule(p, prog, r.sch.Teams, r.envs, r.workerEnvs, fb)
+	r.schedule, err = compileSchedule(p, prog, r.sch.Teams, r.envs, r.workerEnvs, fb)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
 	r.stepFns = make([]func(worker int), len(r.sch.Teams))
 	for t := range r.sch.Teams {
 		items := r.schedule.items[t]

@@ -19,15 +19,17 @@ func DescribePlan(cfg Config, prog *stencil.Program, domain grid.Size) (string, 
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %v on %s, domain %v, %d steps\n",
 		cfg.Strategy, cfg.Machine.Name, domain, cfg.Steps)
+	groups := len(p.fuse.Groups)
 	switch cfg.Strategy {
 	case Original:
-		fmt.Fprintf(&b, "  no blocking: %d stages sweep the whole domain, %d cores each\n",
-			len(prog.Stages), cfg.Machine.TotalCores())
+		fmt.Fprintf(&b, "  no blocking: %d stages in %d fused phases sweep the whole domain, %d cores each\n",
+			len(prog.Stages), groups, cfg.Machine.TotalCores())
 	case Plus31D:
 		blocks := p.blocks[0]
-		fmt.Fprintf(&b, "  %d cache blocks of %d i-columns, all %d cores per block, %d stage barriers per step\n",
-			len(blocks), blocks[0].I1-blocks[0].I0, cfg.Machine.TotalCores(), len(prog.Stages)*len(blocks))
+		fmt.Fprintf(&b, "  %d cache blocks of %d i-columns, all %d cores per block, %d stages in %d fused phases, %d phase barriers per step\n",
+			len(blocks), blocks[0].I1-blocks[0].I0, cfg.Machine.TotalCores(), len(prog.Stages), groups, groups*len(blocks))
 	case IslandsOfCores:
+		fmt.Fprintf(&b, "  %d stages in %d fused phases per block\n", len(prog.Stages), groups)
 		totalExtra := int64(0)
 		for i, part := range p.parts {
 			var extra int64

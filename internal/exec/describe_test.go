@@ -21,10 +21,28 @@ func TestDescribePlanIslands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"island  0 on node  0", "island  2 on node  2", "4 blocks", "total redundancy"} {
+	for _, want := range []string{"island  0 on node  0", "island  2 on node  2", "4 blocks", "total redundancy",
+		"17 stages in 7 fused phases"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("describe missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestDescribePlanFusionDisabled(t *testing.T) {
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &mpdata.NewProgram().Program
+	out, err := DescribePlan(Config{
+		Machine: m, Strategy: IslandsOfCores, Steps: 1, BlockI: 8, DisableFusion: true,
+	}, prog, grid.Sz(64, 48, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "17 stages in 17 fused phases") {
+		t.Fatalf("unfused describe should report singleton phases:\n%s", out)
 	}
 }
 
@@ -33,11 +51,11 @@ func TestDescribePlanOtherStrategies(t *testing.T) {
 	prog := &mpdata.NewProgram().Program
 	domain := grid.Sz(64, 32, 8)
 	orig, err := DescribePlan(Config{Machine: m, Strategy: Original, Steps: 1}, prog, domain)
-	if err != nil || !strings.Contains(orig, "no blocking") {
+	if err != nil || !strings.Contains(orig, "no blocking") || !strings.Contains(orig, "17 stages in 7 fused phases") {
 		t.Fatalf("original describe: %v\n%s", err, orig)
 	}
 	blocked, err := DescribePlan(Config{Machine: m, Strategy: Plus31D, Steps: 1, BlockI: 8}, prog, domain)
-	if err != nil || !strings.Contains(blocked, "cache blocks") {
+	if err != nil || !strings.Contains(blocked, "cache blocks") || !strings.Contains(blocked, "56 phase barriers per step") {
 		t.Fatalf("blocked describe: %v\n%s", err, blocked)
 	}
 	if _, err := DescribePlan(Config{Machine: m, Steps: 0}, prog, domain); err == nil {

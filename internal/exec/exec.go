@@ -70,6 +70,13 @@ type Config struct {
 	Boundary stencil.Boundary
 	// Steps is the number of time steps.
 	Steps int
+	// DisableFusion turns off stage fusion in the compiled compute
+	// schedule: every stage becomes its own phase with its own barrier,
+	// as in the paper's original formulation. The default (false) groups
+	// consecutive dependency-independent stages into single sweeps
+	// (stencil.PlanFusion), cutting per-block phase barriers 17 -> 7 for
+	// MPDATA. Tests and benchmarks use it as the fusion ablation.
+	DisableFusion bool
 	// CoreIslands applies the islands idea inside each island (the
 	// paper's §6 future work): every core of a work team becomes a
 	// sub-island that computes its own j-trapezoids redundantly instead
@@ -155,6 +162,11 @@ type plan struct {
 	// spans[i][s][b] is the region of stage s computed in block b of
 	// island i.
 	spans [][][]grid.Region
+	// fuse groups consecutive dependency-independent stages into the
+	// phases the compiled compute schedule executes (one sweep, one
+	// barrier per group). With Config.DisableFusion it degenerates to one
+	// group per stage.
+	fuse *stencil.FusionPlan
 	// trace enables simulator event recording in the model backend.
 	trace bool
 }
@@ -169,6 +181,14 @@ func newPlan(cfg Config, prog *stencil.Program, domain grid.Size) (*plan, error)
 		return nil, err
 	}
 	p := &plan{cfg: cfg, prog: prog, analysis: analysis, domain: domain}
+	if cfg.DisableFusion {
+		p.fuse = stencil.SingletonFusion(prog)
+	} else {
+		p.fuse, err = stencil.PlanFusion(prog)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	blockI := cfg.BlockI
 	if blockI <= 0 {

@@ -205,6 +205,33 @@ func stageHalo(st *stencil.Stage) sideHalo {
 	return h
 }
 
+// groupHalo sums the per-side halo columns of one fused group's sweep: the
+// group's distinct inputs, each counted once at its merged (maximum) extent
+// — a fused sweep pulls each shared input's halo once, not once per member.
+// For singleton groups over stages that read each producer once (every
+// MPDATA stage) it equals stageHalo.
+func groupHalo(fp *stencil.FusionPlan, gi int) sideHalo {
+	var h sideHalo
+	for _, e := range fp.GroupInputs(gi) {
+		h.iLo += float64(e.ILo)
+		h.iHi += float64(e.IHi)
+		h.jLo += float64(e.JLo)
+		h.jHi += float64(e.JHi)
+	}
+	return h
+}
+
+// modelFusion returns the phase grouping the model prices: per-stage
+// (singleton) groups by default — the paper's per-stage execution, keeping
+// Tables 1-4 reproducing — or the plan's fused groups when the
+// Params.FuseStages ablation knob is set.
+func (p *plan) modelFusion() *stencil.FusionPlan {
+	if p.params().FuseStages {
+		return p.fuse
+	}
+	return stencil.SingletonFusion(p.prog)
+}
+
 // Model prices one configuration and returns the timing and traffic
 // estimate. Steps are homogeneous (the paper relies on the same property to
 // benchmark only 50 of them), so one representative step — and, for blocked
@@ -303,55 +330,76 @@ func modelOriginal(p *plan, res *ModelResult) error {
 	}
 	rowBytes := float64(p.domain.NJ) * float64(p.domain.NK) * grid.CellBytes
 
+	// One simulated phase per fused group (per stage by default; merged
+	// with Params.FuseStages): members share their distinct input streams
+	// and halo pulls, and the whole group meets at one barrier.
+	fuse := p.modelFusion()
 	var remoteHalo float64
-	for s := range p.prog.Stages {
-		st := &p.prog.Stages[s]
+	for gi := range fuse.Groups {
+		g := &fuse.Groups[gi]
 		// The same per-core chunks the compiled compute schedule executes.
-		chunks := p.stageChunks(0, s, 0, 0, cores)
+		chunks := make([][]grid.Region, len(g.Stages))
+		for mi, s := range g.Stages {
+			chunks[mi] = p.stageChunks(0, s, 0, 0, cores)
+		}
 		bar := mm.sim.NewBarrier(cores, mm.barrierCost(allNodes(nodes), cores))
-		halo := stageHalo(st)
+		halo := groupHalo(fuse, gi)
+		nInputs := float64(len(fuse.GroupInputs(gi)))
 		for c := 0; c < cores; c++ {
 			node := m.CoreNode(c)
-			item := simmach.Item{Tag: fmt.Sprintf("stage%d", s)}
-			chunk := chunks[c]
-			if !chunk.Empty() {
-				cells := float64(chunk.Cells())
-				item.Flows = append(item.Flows, simmach.Flow{
-					Demand:    cells * float64(st.Flops),
-					Resources: []int{mm.coreRes[c]},
-				})
-				// Stage reads and the output write, split by page home.
-				perNode := placement.RegionBytesPerNode(chunk)
-				for h, b := range perNode {
-					if b == 0 {
-						continue
+			for mi, s := range g.Stages {
+				st := &p.prog.Stages[s]
+				item := simmach.Item{Tag: fmt.Sprintf("stage%d", s)}
+				chunk := chunks[mi][c]
+				if !chunk.Empty() {
+					cells := float64(chunk.Cells())
+					item.Flows = append(item.Flows, simmach.Flow{
+						Demand:    cells * float64(st.Flops),
+						Resources: []int{mm.coreRes[c]},
+					})
+					// Reads and the output write, split by page home. The
+					// group's distinct inputs are streamed once per fused
+					// sweep, carried by the first member's item; every
+					// member writes its own output.
+					perNode := placement.RegionBytesPerNode(chunk)
+					for h, b := range perNode {
+						if b == 0 {
+							continue
+						}
+						if mi == 0 {
+							item.Flows = append(item.Flows,
+								mm.readFlow(node, h, float64(b)*nInputs))
+						}
+						item.Flows = append(item.Flows, mm.writeFlows(node, h, float64(b))...)
 					}
-					item.Flows = append(item.Flows,
-						mm.readFlow(node, h, float64(b)*float64(len(st.Inputs))))
-					item.Flows = append(item.Flows, mm.writeFlows(node, h, float64(b))...)
-				}
-				// Halo reads at chunk edges crossing node boundaries:
-				// in the original version the producer's output lives
-				// in main memory, so these are memory streams from
-				// wherever the placement homed the halo rows.
-				if chunk.I0 > 0 && c > 0 && m.CoreNode(c-1) != node {
-					home := placement.NodeOfCell((chunk.I0 - 1) * rowCells)
-					if home != node {
-						b := halo.iLo * rowBytes
-						item.Flows = append(item.Flows, mm.readFlow(node, home, b))
-						remoteHalo += b
+					// Halo reads at chunk edges crossing node boundaries:
+					// in the original version the producer's output lives
+					// in main memory, so these are memory streams from
+					// wherever the placement homed the halo rows. The
+					// group's merged halo is pulled once, with the shared
+					// input streams.
+					if mi == 0 {
+						if chunk.I0 > 0 && c > 0 && m.CoreNode(c-1) != node {
+							home := placement.NodeOfCell((chunk.I0 - 1) * rowCells)
+							if home != node {
+								b := halo.iLo * rowBytes
+								item.Flows = append(item.Flows, mm.readFlow(node, home, b))
+								remoteHalo += b
+							}
+						}
+						if chunk.I1 < p.domain.NI && c+1 < cores && m.CoreNode(c+1) != node {
+							home := placement.NodeOfCell(chunk.I1 * rowCells)
+							if home != node {
+								b := halo.iHi * rowBytes
+								item.Flows = append(item.Flows, mm.readFlow(node, home, b))
+								remoteHalo += b
+							}
+						}
 					}
 				}
-				if chunk.I1 < p.domain.NI && c+1 < cores && m.CoreNode(c+1) != node {
-					home := placement.NodeOfCell(chunk.I1 * rowCells)
-					if home != node {
-						b := halo.iHi * rowBytes
-						item.Flows = append(item.Flows, mm.readFlow(node, home, b))
-						remoteHalo += b
-					}
-				}
+				procs[c].Add(item)
 			}
-			procs[c].Add(item, simmach.Item{Tag: "barrier", Barrier: bar})
+			procs[c].Add(simmach.Item{Tag: "barrier", Barrier: bar})
 		}
 	}
 
@@ -500,61 +548,68 @@ func modelBlocked(p *plan, res *ModelResult) error {
 			procs[c].Add(fill)
 		}
 
-		for s := range p.prog.Stages {
-			st := &p.prog.Stages[s]
-			// Average stage cells per block for this island (includes
-			// the trapezoid redundancy spread over blocks; with
-			// core-level sub-islands, also the per-worker j-trapezoids).
-			islCells := p.islandCells(isl.id, s)
-			if cfg.CoreIslands {
-				islCells = p.coreIslandCells(isl.id, s, ncores)
-			}
-			cells := float64(islCells) / float64(isl.nblocks)
-			chunkCells := cells / float64(ncores)
-			// Chunk geometry for halo sizing: the stage's i-width in
-			// this block times NK columns.
-			iWidth := float64(blk.I1 - blk.I0)
-			colBytes := iWidth * float64(p.domain.NK) * grid.CellBytes
-			halo := stageHalo(st)
-
+		// One phase per fused group (per stage by default; merged with
+		// Params.FuseStages): the group's halo pulls are merged over its
+		// distinct inputs and paid once, and one per-group barrier joins
+		// the team instead of one per stage.
+		fuse := p.modelFusion()
+		// Chunk geometry for halo sizing: the block's i-width times NK
+		// columns.
+		iWidth := float64(blk.I1 - blk.I0)
+		colBytes := iWidth * float64(p.domain.NK) * grid.CellBytes
+		for gi := range fuse.Groups {
+			g := &fuse.Groups[gi]
+			halo := groupHalo(fuse, gi)
 			var bar *simmach.Barrier
 			if !cfg.CoreIslands {
 				bar = mm.sim.NewBarrier(ncores, mm.barrierCost(isl.nodeSet, ncores))
 			}
 			for ci, c := range isl.cores {
 				node := m.CoreNode(c)
-				item := simmach.Item{Tag: fmt.Sprintf("isl%d.stage%d", isl.id, s)}
-				item.Flows = append(item.Flows, simmach.Flow{
-					Demand:    chunkCells * float64(st.Flops),
-					Resources: []int{mm.coreRes[c]},
-				})
-				// Overlapped memory, apportioned to stages by their
-				// share of the block's compute so streaming hides
-				// evenly under arithmetic.
-				memShare := overlapped * float64(st.Flops) / totalFlopsPerCell / float64(ncores)
-				for _, h := range homes {
-					item.Flows = append(item.Flows, mm.readFlow(node, h.node, memShare*h.share))
+				if !cfg.CoreIslands {
+					// Halo pulls from the j-neighbours' caches stall the
+					// consumer before it can compute: demand misses on
+					// another cache's fresh output are not prefetchable.
+					// One merged pull per group sweep.
+					haloItem := simmach.Item{Tag: fmt.Sprintf("isl%d.halo.g%d", isl.id, gi)}
+					if ci > 0 {
+						from := m.CoreNode(isl.cores[ci-1])
+						haloItem.Flows = append(haloItem.Flows, mm.c2cFlow(from, node, halo.jLo*colBytes))
+					}
+					if ci+1 < ncores {
+						from := m.CoreNode(isl.cores[ci+1])
+						haloItem.Flows = append(haloItem.Flows, mm.c2cFlow(from, node, halo.jHi*colBytes))
+					}
+					procs[c].Add(haloItem)
 				}
-				if cfg.CoreIslands {
-					// Sub-islands: no intra-block halos, no per-stage
-					// synchronization — the redundant j-trapezoids are
-					// already in chunkCells.
+				for _, s := range g.Stages {
+					st := &p.prog.Stages[s]
+					// Average stage cells per block for this island
+					// (includes the trapezoid redundancy spread over
+					// blocks; with core-level sub-islands, also the
+					// per-worker j-trapezoids).
+					islCells := p.islandCells(isl.id, s)
+					if cfg.CoreIslands {
+						islCells = p.coreIslandCells(isl.id, s, ncores)
+					}
+					chunkCells := float64(islCells) / float64(isl.nblocks) / float64(ncores)
+					item := simmach.Item{Tag: fmt.Sprintf("isl%d.stage%d", isl.id, s)}
+					item.Flows = append(item.Flows, simmach.Flow{
+						Demand:    chunkCells * float64(st.Flops),
+						Resources: []int{mm.coreRes[c]},
+					})
+					// Overlapped memory, apportioned to stages by their
+					// share of the block's compute so streaming hides
+					// evenly under arithmetic.
+					memShare := overlapped * float64(st.Flops) / totalFlopsPerCell / float64(ncores)
+					for _, h := range homes {
+						item.Flows = append(item.Flows, mm.readFlow(node, h.node, memShare*h.share))
+					}
 					procs[c].Add(item)
-					continue
 				}
-				// Halo pulls from the j-neighbours' caches stall the
-				// consumer before it can compute: demand misses on
-				// another cache's fresh output are not prefetchable.
-				haloItem := simmach.Item{Tag: fmt.Sprintf("isl%d.halo%d", isl.id, s)}
-				if ci > 0 {
-					from := m.CoreNode(isl.cores[ci-1])
-					haloItem.Flows = append(haloItem.Flows, mm.c2cFlow(from, node, halo.jLo*colBytes))
+				if !cfg.CoreIslands {
+					procs[c].Add(simmach.Item{Tag: "stagebar", Barrier: bar})
 				}
-				if ci+1 < ncores {
-					from := m.CoreNode(isl.cores[ci+1])
-					haloItem.Flows = append(haloItem.Flows, mm.c2cFlow(from, node, halo.jHi*colBytes))
-				}
-				procs[c].Add(haloItem, item, simmach.Item{Tag: "stagebar", Barrier: bar})
 			}
 		}
 	}

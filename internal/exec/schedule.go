@@ -70,6 +70,10 @@ type Schedule struct {
 	// (single shared environment); island-private environments publish via
 	// copyItems instead, because their outputs only cover their parts.
 	swapFeedback bool
+	// stages and groups record the program's stage count and the number of
+	// fused phase groups the schedule compiles them into (equal when
+	// fusion is disabled).
+	stages, groups int
 
 	failOnce sync.Once
 	failure  any
@@ -122,7 +126,11 @@ type scheduleCompiler struct {
 	// exts[s] is stage s's combined input extent, the interior-split
 	// boundary width (identical to what splitKernel uses at run time).
 	exts []stencil.Extent
-	sch  *Schedule
+	// groups holds the executable form of the plan's fused groups; the
+	// compiler emits one phase (one sweep, one barrier) per group instead
+	// of one per stage.
+	groups []stencil.GroupExec
+	sch    *Schedule
 	// binds caches border-bound environment clones: pieces with the same
 	// pinned coordinates share one clone across stages and blocks.
 	binds map[bindKey]*stencil.Env
@@ -185,6 +193,85 @@ func (c *scheduleCompiler) addKernel(t, w, s int, env *stencil.Env, r grid.Regio
 	}
 }
 
+// phaseUnit is one work parcel within a fused phase: either the group's
+// fused fast sweep over the members' common region, or a single member
+// stage over a remainder or fallback region. All units of a phase are
+// mutually independent (the planner guarantees no member reads another), so
+// they execute in any order between the phase's barriers.
+type phaseUnit struct {
+	fused bool
+	idx   int // group index when fused, stage index otherwise
+	reg   grid.Region
+}
+
+// groupUnits decomposes one fused group's work into phase units, given the
+// per-stage spans (the same regions the unfused schedule would sweep).
+// When the group has at least two split-path members, their spans'
+// intersection runs the fused kernel — every member in one sweep, sharing
+// the input streams — and each member's leftover strips (the wavefront
+// trapezoids differ per stage) run that member's own fast path. Every
+// member thus computes exactly the cells of its unfused span, keeping the
+// schedule bit-identical to per-stage execution.
+func (c *scheduleCompiler) groupUnits(gi int, span func(s int) grid.Region) []phaseUnit {
+	ge := &c.groups[gi]
+	var units []phaseUnit
+	add := func(u phaseUnit) {
+		if !u.reg.Empty() {
+			units = append(units, u)
+		}
+	}
+	perMember := func() {
+		for _, s := range ge.FastMembers {
+			add(phaseUnit{idx: s, reg: span(s)})
+		}
+	}
+	if ge.Fast != nil && len(ge.FastMembers) > 1 {
+		common := span(ge.FastMembers[0])
+		for _, s := range ge.FastMembers[1:] {
+			common = common.Intersect(span(s))
+		}
+		if !common.Empty() {
+			add(phaseUnit{fused: true, idx: gi, reg: common})
+			for _, s := range ge.FastMembers {
+				for _, rem := range stencil.Subtract(span(s), common) {
+					add(phaseUnit{idx: s, reg: rem})
+				}
+			}
+		} else {
+			perMember()
+		}
+	} else {
+		perMember()
+	}
+	for _, s := range ge.Generic {
+		add(phaseUnit{idx: s, reg: span(s)})
+	}
+	return units
+}
+
+// addUnit appends one phase unit over region r to worker (t, w). Fused
+// units mirror addKernel's interior/border treatment with the group's
+// merged extent: the interior runs the group kernel on the plain
+// environment, pinned border pieces run it on border-bound clones, so every
+// member stays bit-identical to its per-stage execution.
+func (c *scheduleCompiler) addUnit(t, w int, u phaseUnit, env *stencil.Env, r grid.Region) {
+	if !u.fused {
+		c.addKernel(t, w, u.idx, env, r)
+		return
+	}
+	if r.Empty() {
+		return
+	}
+	ge := &c.groups[u.idx]
+	interior, pieces := stencil.BorderPieces(r, c.p.fuse.Groups[u.idx].Ext, c.p.domain)
+	if !interior.Empty() {
+		c.push(t, w, schedItem{kind: kernelItem, kern: ge.Fast, env: env, reg: interior})
+	}
+	for _, pc := range pieces {
+		c.push(t, w, schedItem{kind: kernelItem, kern: ge.Fast, env: c.bindEnv(env, pc), reg: pc.Region})
+	}
+}
+
 // bindEnv returns env bound to piece pc, reusing clones across pieces with
 // identical pinned coordinates (common across stages and blocks).
 func (c *scheduleCompiler) bindEnv(env *stencil.Env, pc stencil.BorderPiece) *stencil.Env {
@@ -225,10 +312,20 @@ func (c *scheduleCompiler) addTeamBarrier(t int, bar *sched.Barrier) {
 }
 
 // compileSchedule builds the compiled one-step program for the runner's
-// strategy. envs/workerEnvs mirror Runner's environment layout.
+// strategy. envs/workerEnvs mirror Runner's environment layout. Work items
+// and barriers are emitted per fused group — one interior/border split, one
+// phase barrier, one set of halo regions per group — so stage fusion cuts
+// MPDATA's per-block phases 17 -> 7 (back to 17 with Config.DisableFusion).
 func compileSchedule(p *plan, prog *stencil.KernelProgram, teams []*sched.Team,
-	envs []*stencil.Env, workerEnvs [][]*stencil.Env, out *grid.Field) *Schedule {
+	envs []*stencil.Env, workerEnvs [][]*stencil.Env, out *grid.Field) (*Schedule, error) {
 	c := newScheduleCompiler(p, prog, teams, out)
+	groups, err := p.fuse.CompileGroups(prog)
+	if err != nil {
+		return nil, err
+	}
+	c.groups = groups
+	c.sch.stages = len(prog.Stages)
+	c.sch.groups = len(groups)
 	switch {
 	case p.cfg.Strategy == Original:
 		c.compileOriginal(envs[0])
@@ -239,51 +336,36 @@ func compileSchedule(p *plan, prog *stencil.KernelProgram, teams []*sched.Team,
 	default:
 		c.compileIslands(envs)
 	}
-	return c.sch
+	return c.sch, nil
 }
 
-// compileOriginal: every stage sweeps the whole domain chunked along i over
-// all cores of the machine; consecutive stages meet at a machine-wide
+// blockSpan returns the span accessor of block b of island i.
+func (c *scheduleCompiler) blockSpan(island, b int) func(s int) grid.Region {
+	return func(s int) grid.Region { return c.p.spans[island][s][b] }
+}
+
+// compileOriginal: every fused group sweeps the whole domain chunked along i
+// over all cores of the machine; consecutive groups meet at a machine-wide
 // barrier. Feedback is a buffer swap performed by the driver after the step
 // join (replacing the full-grid copyFeedback sweep).
 func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
 	cores := c.totalCores()
 	global := c.newBarrier(cores)
 	first := true
-	for s := range c.prog.Stages {
+	for gi := range c.p.fuse.Groups {
+		units := c.groupUnits(gi, c.blockSpan(0, 0))
+		if len(units) == 0 {
+			continue
+		}
 		if !first {
 			c.addGlobalBarrier(global)
 		}
 		first = false
-		chunks := c.p.stageChunks(0, s, 0, 0, cores)
-		for t, team := range c.teams {
-			for w := 0; w < team.Size(); w++ {
-				c.addKernel(t, w, s, env, chunks[team.Cores[w]])
-			}
-		}
-	}
-	c.sch.swapFeedback = true
-}
-
-// compilePlus31D: cache blocks in sequence; within a block every stage is
-// chunked along j over all cores with a machine-wide barrier per stage.
-func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
-	cores := c.totalCores()
-	global := c.newBarrier(cores)
-	first := true
-	for b := range c.p.blocks[0] {
-		for s := range c.prog.Stages {
-			if c.p.spans[0][s][b].Empty() {
-				continue
-			}
-			if !first {
-				c.addGlobalBarrier(global)
-			}
-			first = false
-			chunks := c.p.stageChunks(0, s, b, 1, cores)
+		for _, u := range units {
+			chunks := decomp.SplitDim(u.reg, 0, cores)
 			for t, team := range c.teams {
 				for w := 0; w < team.Size(); w++ {
-					c.addKernel(t, w, s, env, chunks[team.Cores[w]])
+					c.addUnit(t, w, u, env, chunks[team.Cores[w]])
 				}
 			}
 		}
@@ -291,8 +373,37 @@ func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
 	c.sch.swapFeedback = true
 }
 
-// compileIslands: each team walks its island's blocks and stages with
-// per-stage team barriers; a single global barrier separates compute from
+// compilePlus31D: cache blocks in sequence; within a block every fused group
+// is chunked along j over all cores with a machine-wide barrier per group.
+func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
+	cores := c.totalCores()
+	global := c.newBarrier(cores)
+	first := true
+	for b := range c.p.blocks[0] {
+		for gi := range c.p.fuse.Groups {
+			units := c.groupUnits(gi, c.blockSpan(0, b))
+			if len(units) == 0 {
+				continue
+			}
+			if !first {
+				c.addGlobalBarrier(global)
+			}
+			first = false
+			for _, u := range units {
+				chunks := decomp.SplitDim(u.reg, 1, cores)
+				for t, team := range c.teams {
+					for w := 0; w < team.Size(); w++ {
+						c.addUnit(t, w, u, env, chunks[team.Cores[w]])
+					}
+				}
+			}
+		}
+	}
+	c.sch.swapFeedback = true
+}
+
+// compileIslands: each team walks its island's blocks and fused groups with
+// per-group team barriers; a single global barrier separates compute from
 // the publish copies (islands read each other's feedback halos, so no
 // island may publish before all have finished computing).
 func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
@@ -301,17 +412,20 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 		tbar := c.newBarrier(n)
 		first := true
 		for b := range c.p.blocks[t] {
-			for s := range c.prog.Stages {
-				if c.p.spans[t][s][b].Empty() {
+			for gi := range c.p.fuse.Groups {
+				units := c.groupUnits(gi, c.blockSpan(t, b))
+				if len(units) == 0 {
 					continue
 				}
 				if !first {
 					c.addTeamBarrier(t, tbar)
 				}
 				first = false
-				chunks := c.p.stageChunks(t, s, b, 1, n)
-				for w := 0; w < n; w++ {
-					c.addKernel(t, w, s, envs[t], chunks[w])
+				for _, u := range units {
+					chunks := decomp.SplitDim(u.reg, 1, n)
+					for w := 0; w < n; w++ {
+						c.addUnit(t, w, u, envs[t], chunks[w])
+					}
 				}
 			}
 		}
@@ -331,8 +445,10 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 }
 
 // compileCoreIslands: every worker is its own sub-island sweeping all blocks
-// and stages over its private j-trapezoids with no synchronization until the
-// global end-of-compute barrier, then publishes its exact sub-part.
+// and fused groups over its private j-trapezoids with no synchronization
+// until the global end-of-compute barrier, then publishes its exact
+// sub-part. Fusion brings no barrier savings here (there are none to cut);
+// the fused sweeps still share their member stages' input streams.
 func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
 	for t, team := range c.teams {
 		n := team.Size()
@@ -340,8 +456,11 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
 		for w := 0; w < n; w++ {
 			env := workerEnvs[t][w]
 			for b := range c.p.blocks[t] {
-				for s := range c.prog.Stages {
-					c.addKernel(t, w, s, env, c.p.workerRegion(t, s, b, subs[w]))
+				for gi := range c.p.fuse.Groups {
+					span := func(s int) grid.Region { return c.p.workerRegion(t, s, b, subs[w]) }
+					for _, u := range c.groupUnits(gi, span) {
+						c.addUnit(t, w, u, env, u.reg)
+					}
 				}
 			}
 		}
@@ -369,13 +488,20 @@ type ScheduleStats struct {
 	Barriers     int
 	// MaxItemsPerWorker is the longest per-worker step program.
 	MaxItemsPerWorker int
+	// Stages is the program's stage count; PhaseGroups the number of
+	// fused phase groups the schedule executes them as. Fusion cuts the
+	// per-block phase barriers from Stages to PhaseGroups (equal when
+	// fusion is disabled).
+	Stages      int
+	PhaseGroups int
 	// SwapFeedback mirrors Schedule.SwapFeedback.
 	SwapFeedback bool
 }
 
 // Stats summarizes the schedule.
 func (s *Schedule) Stats() ScheduleStats {
-	st := ScheduleStats{Barriers: len(s.barriers), SwapFeedback: s.swapFeedback}
+	st := ScheduleStats{Barriers: len(s.barriers), SwapFeedback: s.swapFeedback,
+		Stages: s.stages, PhaseGroups: s.groups}
 	for _, team := range s.items {
 		for _, items := range team {
 			if len(items) > st.MaxItemsPerWorker {
@@ -398,8 +524,8 @@ func (s *Schedule) Stats() ScheduleStats {
 
 func (st ScheduleStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule: %d kernel items, %d copy items, %d waits at %d barriers, max %d items/worker, feedback=",
-		st.KernelItems, st.CopyItems, st.BarrierWaits, st.Barriers, st.MaxItemsPerWorker)
+	fmt.Fprintf(&b, "schedule: %d stages in %d phase groups, %d kernel items, %d copy items, %d waits at %d barriers, max %d items/worker, feedback=",
+		st.Stages, st.PhaseGroups, st.KernelItems, st.CopyItems, st.BarrierWaits, st.Barriers, st.MaxItemsPerWorker)
 	if st.SwapFeedback {
 		b.WriteString("swap")
 	} else {

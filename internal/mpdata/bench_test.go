@@ -56,6 +56,59 @@ func BenchmarkFullStep(b *testing.B) {
 	b.ReportMetric(cells*229*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
 }
 
+// BenchmarkFusedRows contrasts each registered hand-fused row kernel with
+// running its member stages' fast paths back to back over the same interior
+// region. The gap is the pure traversal/bounds-check saving of stage fusion,
+// isolated from scheduling and barriers.
+func BenchmarkFusedRows(b *testing.B) {
+	domain := grid.Sz(64, 64, 64)
+	state := NewState(domain)
+	state.SetGaussian(32, 32, 32, 8, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.15, -0.1)
+	kp := NewProgram()
+	env, err := stencil.NewEnv(&kp.Program, domain, state.InputMap())
+	if err != nil {
+		b.Fatal(err)
+	}
+	whole := grid.WholeRegion(domain)
+	for _, k := range kp.Kernels {
+		k(env, whole)
+	}
+	region := grid.Box(4, 60, 4, 60, 4, 60)
+	rate := func(b *testing.B) {
+		b.ReportMetric(float64(region.Cells())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	}
+	for fi := range kp.Fused {
+		fk := &kp.Fused[fi]
+		label := fk.Stages[0]
+		for _, s := range fk.Stages[1:] {
+			label += "+" + s
+		}
+		fasts := make([]stencil.Kernel, len(fk.Stages))
+		for i, name := range fk.Stages {
+			fast, _, ok := kp.SplitPaths(kp.StageIndex(name))
+			if !ok {
+				b.Fatalf("stage %q has no split fast path", name)
+			}
+			fasts[i] = fast
+		}
+		b.Run(label+"/separate", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, fast := range fasts {
+					fast(env, region)
+				}
+			}
+			rate(b)
+		})
+		b.Run(label+"/fused", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fk.Fast(env, region)
+			}
+			rate(b)
+		})
+	}
+}
+
 // BenchmarkBoundaryShare contrasts whole-domain execution (interior fast
 // path + boundary shell) against the interior alone, quantifying the
 // boundary path's cost share.

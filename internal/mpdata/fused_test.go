@@ -1,0 +1,154 @@
+package mpdata
+
+import (
+	"math/rand"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// fusedTestEnv builds an environment with randomized positive inputs and
+// every stage field populated by the generic (boundary-checked) kernels, so
+// fused kernels can be compared against their members on realistic data.
+func fusedTestEnv(t *testing.T, kp *stencil.KernelProgram, domain grid.Size, bc stencil.Boundary) *stencil.Env {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	state := NewState(domain)
+	for n := range state.Psi.Data {
+		state.Psi.Data[n] = 0.1 + rng.Float64()
+		state.U1.Data[n] = 0.4 * (rng.Float64() - 0.5)
+		state.U2.Data[n] = 0.4 * (rng.Float64() - 0.5)
+		state.U3.Data[n] = 0.4 * (rng.Float64() - 0.5)
+		state.H.Data[n] = 1 + 0.2*rng.Float64()
+	}
+	env, err := stencil.NewEnv(&kp.Program, domain, state.InputMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.BC = bc
+	whole := grid.WholeRegion(domain)
+	for s := range kp.Stages {
+		kp.Kernels[s](env, whole)
+	}
+	return env
+}
+
+func TestMPDATAFusionPlanIsSevenGroups(t *testing.T) {
+	kp := NewProgram()
+	fp, err := stencil.PlanFusion(&kp.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"f1", "f2", "f3"},
+		{"psiStar"},
+		{"psiMax", "psiMin", "v1", "v2", "v3"},
+		{"fluxIn", "fluxOut"},
+		{"betaUp", "betaDn"},
+		{"g1", "g2", "g3"},
+		{"psiNew"},
+	}
+	if len(fp.Groups) != len(want) {
+		t.Fatalf("MPDATA fuses into %d groups, want %d", len(fp.Groups), len(want))
+	}
+	for gi, names := range want {
+		g := fp.Groups[gi]
+		if len(g.Stages) != len(names) {
+			t.Fatalf("group %d has %d members, want %v", gi, len(g.Stages), names)
+		}
+		for mi, s := range g.Stages {
+			if got := kp.Stages[s].Name; got != names[mi] {
+				t.Fatalf("group %d member %d = %q, want %q", gi, mi, got, names[mi])
+			}
+		}
+	}
+}
+
+func TestDefaultProgramRegistersFusedKernels(t *testing.T) {
+	kp := NewProgram()
+	if len(kp.Fused) != 5 {
+		t.Fatalf("default program registers %d fused kernels, want 5", len(kp.Fused))
+	}
+	fp, err := stencil.PlanFusion(&kp.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := fp.CompileGroups(kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every MPDATA stage has a split form, so no group is generic-only and
+	// every group carries a fast kernel covering all its members.
+	for gi, ge := range groups {
+		if ge.Fast == nil {
+			t.Fatalf("group %d has no fast kernel", gi)
+		}
+		if len(ge.Generic) != 0 {
+			t.Fatalf("group %d has unexpected generic members %v", gi, ge.Generic)
+		}
+		if len(ge.FastMembers) != len(fp.Groups[gi].Stages) {
+			t.Fatalf("group %d fast members %v do not cover %v", gi, ge.FastMembers, fp.Groups[gi].Stages)
+		}
+	}
+}
+
+// TestFusedKernelsMatchMemberFastPaths verifies each registered hand-fused
+// kernel is bit-identical to running its member stages' fast paths, on the
+// interior and on pinned border pieces under both boundary conditions.
+func TestFusedKernelsMatchMemberFastPaths(t *testing.T) {
+	domain := grid.Sz(9, 7, 6)
+	for _, bc := range []stencil.Boundary{stencil.Clamp, stencil.Periodic} {
+		kp := NewProgram()
+		env := fusedTestEnv(t, kp, domain, bc)
+		for fi := range kp.Fused {
+			fk := &kp.Fused[fi]
+			members := make([]int, len(fk.Stages))
+			for i, name := range fk.Stages {
+				members[i] = kp.StageIndex(name)
+			}
+			// The group's merged extent bounds the interior where every
+			// member's fast path is valid.
+			var ext stencil.Extent
+			for _, s := range members {
+				ext = ext.Max(stencil.InputsExtent(kp.Stages[s].Inputs))
+			}
+			interior, pieces := stencil.BorderPieces(grid.WholeRegion(domain), ext, domain)
+			runOn := func(e *stencil.Env, r grid.Region) {
+				// Reference: member fast paths, recorded then restored.
+				refs := make([][]float64, len(members))
+				for i, s := range members {
+					fast, _, ok := kp.SplitPaths(s)
+					if !ok {
+						t.Fatalf("member %q lost its split form", fk.Stages[i])
+					}
+					fast(e, r)
+					out := env.Field(fk.Stages[i]).Data
+					refs[i] = append([]float64(nil), out...)
+					for n := range out {
+						out[n] = -12345
+					}
+				}
+				fk.Fast(e, r)
+				for i := range members {
+					out := env.Field(fk.Stages[i]).Data
+					stencil.ForEach(r, func(ii, jj, kk int) {
+						n := (ii*domain.NJ+jj)*domain.NK + kk
+						if out[n] != refs[i][n] {
+							t.Fatalf("bc=%v fused %v member %q differs at (%d,%d,%d): %g vs %g",
+								bc, fk.Stages, fk.Stages[i], ii, jj, kk, out[n], refs[i][n])
+						}
+					})
+					copy(out, refs[i])
+				}
+			}
+			runOn(env, interior)
+			for _, pc := range pieces {
+				runOn(env.BindPiece(pc), pc.Region)
+			}
+		}
+	}
+}

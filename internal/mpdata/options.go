@@ -67,10 +67,26 @@ func NewProgramWithOptions(o Options) (*stencil.KernelProgram, error) {
 		fluxStage("f3", InU3, 0, 0, 1),
 		psiStarStage(),
 	}
+	// Hand-fused sibling kernels for the stage-fusion compiler: collected
+	// alongside the stages, registered after the program validates.
+	fused := []stencil.FusedKernel{
+		fusedDonorFluxes("f1", "f2", "f3", InU1, InU2, InU3, InPsi),
+	}
+	register := func(kp *stencil.KernelProgram, err error) (*stencil.KernelProgram, error) {
+		if err != nil {
+			return nil, err
+		}
+		for _, fk := range fused {
+			if err := kp.RegisterFused(fk); err != nil {
+				return nil, err
+			}
+		}
+		return kp, nil
+	}
 	if o.IORD == 1 {
 		// Donor-cell only: the upwind update writes the output directly.
 		stages[3] = psiNewStageNamed(OutPsi, InPsi, "f1", "f2", "f3")
-		return stencil.BuildProgram("mpdata-iord1", StepInputs(), OutPsi, stages)
+		return register(stencil.BuildProgram("mpdata-iord1", StepInputs(), OutPsi, stages))
 	}
 	// cur names the field holding the current best solution; v1..v3 the
 	// velocity fields advecting it. Each corrective pass consumes them and
@@ -100,6 +116,12 @@ func NewProgramWithOptions(o Options) (*stencil.KernelProgram, error) {
 				limitedFluxStageNamed(g2, nv2, 0, 1, 0, cur, bu, bd),
 				limitedFluxStageNamed(g3, nv3, 0, 0, 1, cur, bu, bd),
 			)
+			fused = append(fused,
+				fusedExtrema(mx, mn, cur),
+				fusedPseudoVel(nv1, nv2, nv3, cur, v1, v2, v3),
+				fusedLimiterFluxes(fin, fout, cur, nv1, nv2, nv3),
+				fusedLimitedFluxes(g1, g2, g3, nv1, nv2, nv3, cur, bu, bd),
+			)
 		} else {
 			g1, g2, g3 = s("g1"), s("g2"), s("g3")
 			stages = append(stages,
@@ -110,6 +132,9 @@ func NewProgramWithOptions(o Options) (*stencil.KernelProgram, error) {
 				fluxStageNamed(g2, nv2, 0, 1, 0, cur),
 				fluxStageNamed(g3, nv3, 0, 0, 1, cur),
 			)
+			fused = append(fused,
+				fusedPseudoVel(nv1, nv2, nv3, cur, v1, v2, v3),
+				fusedDonorFluxes(g1, g2, g3, nv1, nv2, nv3, cur))
 		}
 		out := OutPsi
 		if pass < o.IORD-1 {
@@ -119,5 +144,5 @@ func NewProgramWithOptions(o Options) (*stencil.KernelProgram, error) {
 		cur = out
 		v1, v2, v3 = nv1, nv2, nv3
 	}
-	return stencil.BuildProgram(fmt.Sprintf("mpdata-iord%d", o.IORD), StepInputs(), OutPsi, stages)
+	return register(stencil.BuildProgram(fmt.Sprintf("mpdata-iord%d", o.IORD), StepInputs(), OutPsi, stages))
 }

@@ -131,8 +131,14 @@ func fluxStageNamed(name, uName string, di, dj, dk int, psiName string) stencil.
 		d := env.OffsetStride(off(di, dj, dk))
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
-			for n := base; n < base+nk; n++ {
-				out[n] = donor(psi[n], psi[n+d], u[n])
+			// Re-sliced rows: the full-slice expression fixes len == cap so
+			// the compiler drops per-element bounds checks in the loop body.
+			row := out[base : base+nk : base+nk]
+			p0 := psi[base : base+nk]
+			pd := psi[base+d : base+d+nk]
+			w := u[base : base+nk]
+			for x := range row {
+				row[x] = donor(p0[x], pd[x], w[x])
 			}
 		})
 	}
@@ -449,12 +455,17 @@ func betaStageNamed(name string, up bool, curName, extName, fluxName string) ste
 		out := env.Field(name).Data
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
-			for n := base; n < base+nk; n++ {
-				num := ext[n] - ps[n]
+			row := out[base : base+nk : base+nk]
+			e := ext[base : base+nk]
+			p := ps[base : base+nk]
+			f := fl[base : base+nk]
+			hh := h[base : base+nk]
+			for x := range row {
+				num := e[x] - p[x]
 				if !up {
 					num = -num
 				}
-				out[n] = num * h[n] / (fl[n] + Eps)
+				row[x] = num * hh[x] / (f[x] + Eps)
 			}
 		})
 	}
@@ -498,12 +509,20 @@ func limitedFluxStageNamed(name, vName string, di, dj, dk int, curName, buName, 
 		sd := env.OffsetStride(dOff)
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
-			for n := base; n < base+nk; n++ {
-				vf := v[n]
-				cPos := minf(1, minf(bd[n], bu[n+sd]))
-				cNeg := minf(1, minf(bu[n], bd[n+sd]))
+			row := out[base : base+nk : base+nk]
+			vv := v[base : base+nk]
+			p0 := ps[base : base+nk]
+			pd := ps[base+sd : base+sd+nk]
+			bu0 := bu[base : base+nk]
+			bud := bu[base+sd : base+sd+nk]
+			bd0 := bd[base : base+nk]
+			bdd := bd[base+sd : base+sd+nk]
+			for x := range row {
+				vf := vv[x]
+				cPos := minf(1, minf(bd0[x], bud[x]))
+				cNeg := minf(1, minf(bu0[x], bdd[x]))
 				vm := cPos*maxf(vf, 0) + cNeg*minf(vf, 0)
-				out[n] = donor(ps[n], ps[n+sd], vm)
+				row[x] = donor(p0[x], pd[x], vm)
 			}
 		})
 	}
@@ -544,9 +563,18 @@ func psiNewStageNamed(name, baseName, g1Name, g2Name, g3Name string) stencil.Ker
 		siN, sjN, skN := env.Step(0, -1), env.Step(1, -1), env.Step(2, -1)
 		nk := r.K1 - r.K0
 		stencil.ForEachRow(env.Domain, r, func(_, _, base int) {
-			for n := base; n < base+nk; n++ {
-				div := g1[n] - g1[n+siN] + g2[n] - g2[n+sjN] + g3[n] - g3[n+skN]
-				out[n] = bs[n] - div/h[n]
+			row := out[base : base+nk : base+nk]
+			b0 := bs[base : base+nk]
+			hh := h[base : base+nk]
+			a0 := g1[base : base+nk]
+			ai := g1[base+siN : base+siN+nk]
+			c0 := g2[base : base+nk]
+			cj := g2[base+sjN : base+sjN+nk]
+			e0 := g3[base : base+nk]
+			ek := g3[base+skN : base+skN+nk]
+			for x := range row {
+				div := a0[x] - ai[x] + c0[x] - cj[x] + e0[x] - ek[x]
+				row[x] = b0[x] - div/hh[x]
 			}
 		})
 	}

@@ -1,0 +1,49 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/mpdata"
+)
+
+func TestFusionTableMPDATA(t *testing.T) {
+	prog := &mpdata.NewProgram().Program
+	tbl, err := FusionTable(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	// 7 groups plus the totals row.
+	if got := len(tbl.Rows); got != 8 {
+		t.Fatalf("MPDATA fusion table has %d rows, want 8:\n%s", got, out)
+	}
+	for _, want := range []string{"f1+f2+f3", "psiMax+psiMin+v1+v2+v3", "betaUp+betaDn", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fusion table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeFusionMPDATA(t *testing.T) {
+	sum, err := SummarizeFusion(&mpdata.NewProgram().Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stages != 17 || sum.Groups != 7 {
+		t.Fatalf("MPDATA fusion: %d stages in %d groups, want 17 in 7", sum.Stages, sum.Groups)
+	}
+	if sum.UnfusedStreams != 80 {
+		t.Fatalf("unfused streams = %d, want 80 (the original version's traversal count)", sum.UnfusedStreams)
+	}
+	if sum.FusedStreams >= sum.UnfusedStreams {
+		t.Fatalf("fused streams %d should be below unfused %d", sum.FusedStreams, sum.UnfusedStreams)
+	}
+	// The title's ~2.4x: 17 phases -> 7.
+	if sum.BarrierFactor < 2.4 || sum.BarrierFactor > 2.5 {
+		t.Fatalf("barrier reduction factor %.2f, want ~2.43", sum.BarrierFactor)
+	}
+	if sum.TraversalFactor < 1.4 {
+		t.Fatalf("traversal reduction factor %.2f, want >= 1.4", sum.TraversalFactor)
+	}
+}

@@ -35,6 +35,23 @@ type KernelProgram struct {
 	// for stages without a split form); parallel to Program.Stages.
 	FastKernels []Kernel
 	SlowKernels []Kernel
+	// Fused lists hand-fused sibling kernels (see FusedKernel). The fusion
+	// planner applies a registration whenever all its member stages land in
+	// the same fused group; otherwise the members run their individual fast
+	// paths, so registrations are an optimization, never a requirement.
+	Fused []FusedKernel
+}
+
+// FusedKernel is a hand-written kernel computing several mutually
+// independent sibling stages in one row sweep, sharing the loads of their
+// common inputs. Fast must be equivalent to running every member's fast
+// kernel over the region, and — like the per-stage fast paths — must resolve
+// offsets through Env.Step/OffsetStride so it stays exact on pinned border
+// pieces.
+type FusedKernel struct {
+	// Stages names the member stages, in program order.
+	Stages []string
+	Fast   Kernel
 }
 
 // SplitPaths returns stage s's pre-split kernel paths, or ok=false when the
@@ -69,6 +86,34 @@ func BuildProgram(name string, stepInputs []string, output string, stages []Kern
 		}
 	}
 	return kp, nil
+}
+
+// RegisterFused validates and registers a hand-fused sibling kernel: every
+// member must exist, carry a split kernel form (the fused kernel replaces
+// the members' fast paths), and no member may read another member's output.
+func (p *KernelProgram) RegisterFused(fk FusedKernel) error {
+	if len(fk.Stages) < 2 {
+		return fmt.Errorf("stencil: fused kernel needs at least two stages, got %d", len(fk.Stages))
+	}
+	if fk.Fast == nil {
+		return fmt.Errorf("stencil: fused kernel %v has no kernel", fk.Stages)
+	}
+	for _, name := range fk.Stages {
+		s := p.StageIndex(name)
+		if s < 0 {
+			return fmt.Errorf("stencil: fused kernel names unknown stage %q", name)
+		}
+		if _, _, ok := p.SplitPaths(s); !ok {
+			return fmt.Errorf("stencil: fused kernel member %q has no split kernel form", name)
+		}
+		for _, other := range fk.Stages {
+			if other != name && p.Stages[s].Reads(other) != nil {
+				return fmt.Errorf("stencil: fused kernel members %q and %q are dependent", name, other)
+			}
+		}
+	}
+	p.Fused = append(p.Fused, fk)
+	return nil
 }
 
 // Boundary selects how reads outside the domain are resolved.

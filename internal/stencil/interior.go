@@ -110,6 +110,33 @@ func BorderPieces(r grid.Region, e Extent, domain grid.Size) (interior grid.Regi
 	return interior, pieces
 }
 
+// Subtract returns up to six disjoint rectangles that tile r minus inner.
+// inner must be contained in r (or empty, in which case r is returned
+// whole). The decomposition mirrors InteriorSplit's shell: i-slabs below and
+// above inner, then j-slabs, then k-slabs. The fused schedule compiler uses
+// it to peel the per-stage halo strips off a group's common region.
+func Subtract(r, inner grid.Region) []grid.Region {
+	if r.Empty() {
+		return nil
+	}
+	if inner.Empty() {
+		return []grid.Region{r}
+	}
+	var out []grid.Region
+	add := func(piece grid.Region) {
+		if !piece.Empty() {
+			out = append(out, piece)
+		}
+	}
+	add(grid.Region{I0: r.I0, I1: inner.I0, J0: r.J0, J1: r.J1, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: inner.I1, I1: r.I1, J0: r.J0, J1: r.J1, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: inner.I0, I1: inner.I1, J0: r.J0, J1: inner.J0, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: inner.I0, I1: inner.I1, J0: inner.J1, J1: r.J1, K0: r.K0, K1: r.K1})
+	add(grid.Region{I0: inner.I0, I1: inner.I1, J0: inner.J0, J1: inner.J1, K0: r.K0, K1: inner.K0})
+	add(grid.Region{I0: inner.I0, I1: inner.I1, J0: inner.J0, J1: inner.J1, K0: inner.K1, K1: r.K1})
+	return out
+}
+
 // ForEachRow visits the region row by row: fn receives (i, j) and the flat
 // index of cell (i, j, r.K0); the caller iterates k itself over
 // [base, base + (r.K1-r.K0)). This removes per-cell index arithmetic and
