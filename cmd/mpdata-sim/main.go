@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"islands"
@@ -23,6 +24,10 @@ import (
 	"islands/internal/topology"
 )
 
+// maxGridCells bounds the accepted domain size so absurd -grid values are
+// rejected with a diagnostic instead of reaching the allocator.
+const maxGridCells = int64(1) << 31
+
 func parseGrid(s string) (islands.Size, error) {
 	var ni, nj, nk int
 	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &ni, &nj, &nk); err != nil {
@@ -31,6 +36,11 @@ func parseGrid(s string) (islands.Size, error) {
 	sz := islands.Sz(ni, nj, nk)
 	if !sz.Valid() {
 		return islands.Size{}, fmt.Errorf("grid extents must be positive: %s", s)
+	}
+	// Bound each extent before multiplying so the product cannot overflow.
+	if int64(ni) > maxGridCells || int64(nj) > maxGridCells || int64(nk) > maxGridCells ||
+		int64(ni)*int64(nj) > maxGridCells || int64(ni)*int64(nj)*int64(nk) > maxGridCells {
+		return islands.Size{}, fmt.Errorf("grid %s exceeds the supported %d cells", s, maxGridCells)
 	}
 	return sz, nil
 }
@@ -64,6 +74,13 @@ func parsePlacement(s string) (islands.Placement, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mpdata-sim: ")
+	// No internal failure may escape as a raw panic with a stack trace:
+	// convert anything unexpected into a diagnostic and exit status 1.
+	defer func() {
+		if p := recover(); p != nil {
+			log.Fatalf("internal error: %v", p)
+		}
+	}()
 	gridFlag := flag.String("grid", "128x64x16", "domain size NIxNJxNK")
 	steps := flag.Int("steps", 10, "number of time steps")
 	p := flag.Int("p", 2, "number of UV 2000 processors (1..14)")
@@ -73,7 +90,9 @@ func main() {
 	compute := flag.Bool("compute", true, "run the real numerical computation")
 	advise := flag.Bool("advise", false, "price every strategy/mapping on the machine model and rank them")
 	counters := flag.Bool("counters", false, "print per-socket and per-link traffic counters for the modeled run")
-	trace := flag.Bool("trace", false, "print the simulated timeline of one step (model profiling)")
+	modelTrace := flag.Bool("modeltrace", false, "print the simulated timeline of one step (model profiling)")
+	profile := flag.Bool("profile", false, "run every strategy with the runtime profiler and print per-phase, per-island and measured-vs-model tables")
+	traceOut := flag.String("trace", "", "profile the selected strategy and write a Chrome trace-event JSON timeline to this file (chrome://tracing, Perfetto)")
 	coreIslands := flag.Bool("coreislands", false, "apply islands inside each socket (per-core sub-islands)")
 	iord := flag.Int("iord", 2, "MPDATA order (number of passes, 1..4)")
 	dump := flag.String("dump", "", "write the final psi field to this file (grid field format)")
@@ -123,6 +142,13 @@ func main() {
 		}
 		fmt.Printf("strategy advice for %v, %d steps on %d sockets:\n", domain, *steps, *p)
 		fmt.Print(advisor.Report(cands))
+		return
+	}
+
+	if *profile || *traceOut != "" {
+		if err := runProfiled(domain, cfg, *profile, *traceOut); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -198,7 +224,7 @@ func main() {
 		fmt.Printf("redundant computation:  %.2f%% extra elements\n", pred.ExtraElementsPct)
 	}
 
-	if *counters || *trace {
+	if *counters || *modelTrace {
 		m, err := topology.UV2000(*p)
 		if err != nil {
 			log.Fatal(err)
@@ -220,7 +246,7 @@ func main() {
 			fmt.Println()
 			fmt.Print(perf.CountersTable(m, r).Render())
 		}
-		if *trace {
+		if *modelTrace {
 			_, timeline, err := exec.ModelTrace(ec, prog, domain, 100)
 			if err != nil {
 				log.Fatal(err)
@@ -229,4 +255,91 @@ func main() {
 			fmt.Print(timeline)
 		}
 	}
+}
+
+// profiledCase is one strategy configuration of the -profile sweep.
+type profiledCase struct {
+	name        string
+	strategy    islands.Strategy
+	coreIslands bool
+}
+
+// runProfiled executes real computations with the runtime profiler enabled.
+// With report=true it sweeps all strategies and prints the per-phase,
+// per-island and measured-vs-model tables; with tracePath set it additionally
+// (or only) writes the configured strategy's Chrome trace-event timeline.
+func runProfiled(domain islands.Size, cfg islands.Config, report bool, tracePath string) error {
+	m, err := topology.UV2000(cfg.Processors)
+	if err != nil {
+		return err
+	}
+	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: cfg.IORD, NonOscillatory: true})
+	if err != nil {
+		return err
+	}
+	cases := []profiledCase{
+		{"original", islands.Original, false},
+		{"(3+1)D", islands.Plus31D, false},
+		{"islands-of-cores", islands.IslandsOfCores, false},
+		{"islands-of-cores+core-islands", islands.IslandsOfCores, true},
+	}
+	if !report {
+		// Trace-only mode: just the configured strategy.
+		cases = []profiledCase{{cfg.Strategy.String(), cfg.Strategy, cfg.CoreIslands}}
+	}
+	fmt.Printf("runtime profile: MPDATA %v, %d steps on %d sockets\n\n", domain, cfg.Steps, cfg.Processors)
+	for _, c := range cases {
+		ec := exec.Config{
+			Machine: m, Strategy: c.strategy, Placement: cfg.Placement,
+			Variant: cfg.Variant, Boundary: islands.Clamp, Steps: cfg.Steps,
+			CoreIslands: c.coreIslands,
+		}
+		state := mpdata.NewState(domain)
+		ci, cj, ck := float64(domain.NI)/2, float64(domain.NJ)/2, float64(domain.NK)/2
+		state.SetGaussian(ci, cj, ck, float64(domain.NK)/4, 1, 0.1)
+		state.SetRotationVelocityZ(0.5 / (ci + cj))
+		runner, err := exec.NewRunner(ec, kp, state.InputMap(), mpdata.InPsi)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		wantTrace := tracePath != "" && c.strategy == cfg.Strategy && c.coreIslands == cfg.CoreIslands
+		runner.EnableProfile(wantTrace)
+		if err := runner.Run(); err != nil {
+			runner.Close()
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		prof := runner.Profile()
+		if report {
+			fmt.Print(perf.ProfileTable(c.name, prof).Render())
+			fmt.Println()
+			fmt.Print(perf.IslandTable(c.name, prof).Render())
+			res, _, err := exec.ModelTrace(ec, &kp.Program, domain, 1)
+			if err != nil {
+				runner.Close()
+				return fmt.Errorf("%s: model: %w", c.name, err)
+			}
+			fmt.Println()
+			fmt.Print(perf.ProfileVsModelTable(c.name, prof, res.TagTimes()).Render())
+			fmt.Println()
+		}
+		if wantTrace {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				runner.Close()
+				return err
+			}
+			if err := runner.WriteTrace(f); err != nil {
+				f.Close()
+				runner.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				runner.Close()
+				return err
+			}
+			fmt.Printf("trace of %s written to %s (load in chrome://tracing or Perfetto)\n", c.name, tracePath)
+		}
+		runner.Close()
+	}
+	return nil
 }

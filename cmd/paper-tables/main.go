@@ -22,12 +22,22 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paper-tables: ")
+	// No internal failure may escape as a raw panic with a stack trace:
+	// convert anything unexpected into a diagnostic and exit status 1.
+	defer func() {
+		if p := recover(); p != nil {
+			log.Fatalf("internal error: %v", p)
+		}
+	}()
 	table := flag.Int("table", 0, "table to print (0 = all; 1-4 paper tables, 5 variant ablation, 6 traffic, 7 2D islands, 8 roofline, 9 weak scaling, 10 domain sweep, 11 affinity, 12 time breakdown)")
 	maxP := flag.Int("maxp", 14, "largest number of UV 2000 processors to sweep")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
 	flag.Parse()
 	if *maxP < 1 || *maxP > 14 {
 		log.Fatalf("-maxp must be in 1..14, got %d", *maxP)
+	}
+	if *table < 0 || *table > 12 {
+		log.Fatalf("-table must be in 0..12, got %d", *table)
 	}
 
 	sweep := islands.PaperSweep(*maxP)

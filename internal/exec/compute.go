@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"islands/internal/grid"
 	"islands/internal/sched"
@@ -44,6 +45,13 @@ type Runner struct {
 	// may mutate the step inputs — e.g. update time-dependent velocity
 	// fields — or record diagnostics.
 	OnStepEnd func(step int)
+	// prof is the runtime profiler state (nil = profiling off, the
+	// default; see profile.go). Set via EnableProfile, never during Run.
+	prof *profiler
+	// err is the sticky failure of a previous Run: once a worker has
+	// failed, the schedule's barriers are poisoned and the work teams
+	// hold a recorded panic, so the runner cannot execute further steps.
+	err error
 }
 
 // NewRunner prepares an execution. The feedback name selects the step input
@@ -96,23 +104,29 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 	}
 	r.stepFns = make([]func(worker int), len(r.sch.Teams))
 	for t := range r.sch.Teams {
+		t := t
 		items := r.schedule.items[t]
-		r.stepFns[t] = func(w int) { r.runWorker(items[w]) }
+		r.stepFns[t] = func(w int) { r.runWorker(t, w, items[w]) }
 	}
 	return r, nil
 }
 
-// runWorker executes one worker's compiled step program. A panicking kernel
-// poisons the schedule's barriers so the other workers unwind instead of
-// waiting forever at the next phase; the original panic value is recorded
-// and re-raised to the driver by Run.
-func (r *Runner) runWorker(items []schedItem) {
+// runWorker executes one worker's compiled step program — the plain
+// alloc-free walk by default, the instrumented walk when profiling is on. A
+// panicking kernel poisons the schedule's barriers so the other workers
+// unwind instead of waiting forever at the next phase; the original panic
+// value is recorded and converted to an error for the driver by Run.
+func (r *Runner) runWorker(t, w int, items []schedItem) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.schedule.fail(p)
 			panic(p)
 		}
 	}()
+	if p := r.prof; p != nil {
+		runItemsProfiled(items, p.workers[t][w], p.trace, p.epoch)
+		return
+	}
 	runItems(items)
 }
 
@@ -141,21 +155,44 @@ func (r *Runner) Schedule() *Schedule { return r.schedule }
 // one alloc-free dispatch of the compiled schedule; feedback publication is
 // a buffer swap for the shared-environment strategies (Original, Plus31D)
 // and precompiled region copies for the island strategies.
+//
+// A panic in any worker (a failing kernel) is converted into a returned
+// error: the schedule's barriers are aborted so every teammate unwinds and
+// joins, and the error carries the original kernel panic rather than the
+// secondary "barrier aborted" panics of the unwinding workers. The failure
+// is sticky — the teams and barriers are poisoned, so every later Run
+// returns the same error without executing.
 func (r *Runner) Run() (err error) {
+	if r.err != nil {
+		return r.err
+	}
 	defer func() {
 		if p := recover(); p != nil {
-			// Prefer the original kernel panic over the secondary
-			// "barrier aborted" panics of the unwinding workers.
-			if f := r.schedule.firstFailure(); f != nil {
-				panic(f)
+			// A recorded schedule failure means a worker died: return
+			// it as an error, preferring the original kernel panic
+			// over the secondary panics of the unwinding workers. A
+			// panic with no recorded failure is a driver-side bug
+			// (e.g. an OnStepEnd hook) and keeps propagating.
+			f := r.schedule.firstFailure()
+			if f == nil {
+				panic(p)
 			}
-			panic(p)
+			r.err = fmt.Errorf("exec: schedule failed: %v", f)
+			err = r.err
 		}
 	}()
 	for step := 0; step < r.plan.cfg.Steps; step++ {
+		var t0 time.Time
+		if r.prof != nil {
+			t0 = time.Now()
+		}
 		r.sch.RunFns(r.stepFns)
 		if r.schedule.swapFeedback {
 			grid.SwapData(r.inputs[r.feedback], r.envs[0].Field(r.prog.Output))
+		}
+		if p := r.prof; p != nil {
+			p.steps++
+			p.wall += time.Since(t0)
 		}
 		if r.OnStepEnd != nil {
 			r.OnStepEnd(step)

@@ -80,6 +80,7 @@ func (r *Runner) DescribeSchedule() string {
 		fmt.Fprintf(&b, "  team %2d (%d workers): %d kernel items, %d copy items, %d barrier waits per step\n",
 			team.ID, team.Size(), kernels, copies, waits)
 	}
+	fmt.Fprintf(&b, "  phases: %s\n", strings.Join(r.schedule.PhaseLabels(), " | "))
 	fmt.Fprintf(&b, "  %s\n", st)
 	return b.String()
 }

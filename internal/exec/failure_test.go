@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// boomProgram builds a single-stage program whose kernel panics on any
+// region touching the i=0 face: one worker of team 0 dies mid-step while
+// every other worker is left waiting at the next phase barrier.
+func boomProgram(t *testing.T) *stencil.KernelProgram {
+	t.Helper()
+	kern := func(env *stencil.Env, r grid.Region) {
+		if r.I0 == 0 {
+			panic("kaboom")
+		}
+		out := env.Field("out")
+		in := env.Field("in")
+		stencil.ForEach(r, func(i, j, k int) {
+			out.Set(i, j, k, in.At(i, j, k))
+		})
+	}
+	kp, err := stencil.BuildProgram("boom", []string{"in"}, "out", []stencil.KernelStage{{
+		Stage: stencil.Stage{
+			Name:   "out",
+			Inputs: []stencil.Input{{From: "in", Offsets: []stencil.Offset{{DI: 0, DJ: 0, DK: 0}}}},
+			Flops:  1,
+		},
+		Kernel: kern,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+// TestRunWorkerPanicBecomesError is the failure-surfacing acceptance test: a
+// kernel panic in one worker must come back from Run as an error carrying the
+// original panic value — not as a process-killing panic, not as a deadlock,
+// and not masked by the secondary "barrier aborted" panics of the unwinding
+// teammates. A later Run must return the same sticky error without executing.
+func TestRunWorkerPanicBecomesError(t *testing.T) {
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{Original, IslandsOfCores} {
+		t.Run(strat.String(), func(t *testing.T) {
+			in := grid.NewField("in", grid.Sz(32, 16, 8))
+			in.Fill(1)
+			r, err := NewRunner(Config{
+				Machine: m, Strategy: strat, Boundary: stencil.Clamp,
+				Steps: 3, BlockI: 8,
+			}, boomProgram(t), map[string]*grid.Field{"in": in}, "in")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			err = r.Run()
+			if err == nil {
+				t.Fatal("Run returned nil for a panicking kernel")
+			}
+			if !strings.Contains(err.Error(), "kaboom") {
+				t.Fatalf("Run error = %q, want the original kernel panic (kaboom)", err)
+			}
+			if strings.Contains(err.Error(), "barrier aborted") {
+				t.Fatalf("Run error = %q, reports a secondary abort panic instead of the kernel panic", err)
+			}
+
+			again := r.Run()
+			if again == nil {
+				t.Fatal("second Run returned nil after a failure")
+			}
+			if again.Error() != err.Error() {
+				t.Fatalf("second Run error = %q, want sticky %q", again, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// profiledRunner builds a small MPDATA runner on a two-node machine.
+func profiledRunner(t testing.TB, strat Strategy, coreIslands bool, steps int) *Runner {
+	t.Helper()
+	domain := grid.Sz(48, 24, 8)
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := mpdata.NewState(domain)
+	state.SetGaussian(24, 12, 4, 3, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	r, err := NewRunner(Config{
+		Machine: m, Strategy: strat, CoreIslands: coreIslands,
+		Boundary: stencil.Clamp, Steps: steps, BlockI: 12,
+	}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestProfilePhaseAccounting checks the tentpole invariants of the runtime
+// profiler on every strategy: the per-phase totals tile the step wall time
+// (within a tolerance for dispatch latency and clock granularity), the
+// compute-phase count equals ScheduleStats.PhaseGroups, every phase label
+// appears in DescribeSchedule, and the per-island entries cover all teams.
+func TestProfilePhaseAccounting(t *testing.T) {
+	const steps = 3
+	cases := []struct {
+		name        string
+		strat       Strategy
+		coreIslands bool
+	}{
+		{"original", Original, false},
+		{"plus31d", Plus31D, false},
+		{"islands", IslandsOfCores, false},
+		{"coreislands", IslandsOfCores, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := profiledRunner(t, tc.strat, tc.coreIslands, steps)
+			defer r.Close()
+			r.EnableProfile(false)
+			if err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			prof := r.Profile()
+			if prof == nil {
+				t.Fatal("Profile() = nil with profiling enabled")
+			}
+			if prof.Steps != steps {
+				t.Fatalf("Steps = %d, want %d", prof.Steps, steps)
+			}
+			st := r.Schedule().Stats()
+			computePhases := 0
+			var sum, compute time.Duration
+			for _, ph := range prof.Phases {
+				if ph.Group >= 0 {
+					computePhases++
+				}
+				sum += ph.Compute + ph.Spin + ph.Park
+				compute += ph.Compute
+			}
+			if computePhases != st.PhaseGroups {
+				t.Fatalf("profile has %d compute phases, schedule has %d groups",
+					computePhases, st.PhaseGroups)
+			}
+			if compute <= 0 {
+				t.Fatal("no compute time recorded")
+			}
+			desc := r.DescribeSchedule()
+			for _, ph := range prof.Phases {
+				if !strings.Contains(desc, ph.Label) {
+					t.Fatalf("phase label %q not in DescribeSchedule:\n%s", ph.Label, desc)
+				}
+			}
+			// Per-worker phase spans tile each worker's step timeline,
+			// so the machine-wide sum must come out near wall * workers;
+			// the slack covers dispatch latency and clock granularity.
+			budget := prof.Wall * time.Duration(prof.Workers)
+			if sum > budget*21/20 {
+				t.Fatalf("phase sum %v exceeds wall budget %v", sum, budget)
+			}
+			if sum < budget*3/10 {
+				t.Fatalf("phase sum %v is under 30%% of wall budget %v — accounting is leaking time", sum, budget)
+			}
+			if len(prof.Islands) != 2 {
+				t.Fatalf("islands = %d, want 2", len(prof.Islands))
+			}
+			for _, ip := range prof.Islands {
+				if ip.Workers != 8 {
+					t.Fatalf("island %d workers = %d, want 8", ip.Team, ip.Workers)
+				}
+				if ip.MaxWorker < ip.MinWorker {
+					t.Fatalf("island %d: max %v < min %v", ip.Team, ip.MaxWorker, ip.MinWorker)
+				}
+				if pct := ip.ImbalancePct(); pct < 0 || pct > 100 {
+					t.Fatalf("island %d: imbalance %v%% out of range", ip.Team, pct)
+				}
+			}
+		})
+	}
+}
+
+// TestProfileGroupLabels pins the phase labels of the fused MPDATA schedule
+// to the planner's seven groups plus the island strategies' synthetic
+// phases, in execution order.
+func TestProfileGroupLabels(t *testing.T) {
+	r := profiledRunner(t, IslandsOfCores, false, 1)
+	defer r.Close()
+	got := r.Schedule().PhaseLabels()
+	want := []string{
+		"f1+f2+f3", "psiStar", "psiMax+psiMin+v1+v2+v3", "fluxIn+fluxOut",
+		"betaUp+betaDn", "g1+g2+g3", "psiNew", "global-join", "publish",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("phase labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phase %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestProfileDisabledByDefault: a runner never profiled returns a nil
+// profile, and DisableProfile discards an enabled one.
+func TestProfileDisabledByDefault(t *testing.T) {
+	r := profiledRunner(t, Original, false, 1)
+	defer r.Close()
+	if r.Profile() != nil {
+		t.Fatal("Profile() non-nil before EnableProfile")
+	}
+	if err := r.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTrace should fail with profiling off")
+	}
+	r.EnableProfile(false)
+	if err := r.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTrace should fail without trace mode")
+	}
+	r.DisableProfile()
+	if r.Profile() != nil {
+		t.Fatal("Profile() non-nil after DisableProfile")
+	}
+}
+
+// TestRunProfilerDisabledAllocFree guards the tentpole's "provably free when
+// disabled" requirement: the steady-state step loop of a runner with
+// profiling off must not allocate.
+func TestRunProfilerDisabledAllocFree(t *testing.T) {
+	r := profiledRunner(t, IslandsOfCores, false, 1)
+	defer r.Close()
+	if err := r.Run(); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Run with profiling disabled allocates %v per step, want 0", allocs)
+	}
+}
+
+// chromeTrace is the subset of the trace-event JSON the exporter emits.
+type chromeTrace struct {
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	TraceEvents     []map[string]any `json:"traceEvents"`
+}
+
+// TestProfileTraceExport runs a traced step and checks the exported Chrome
+// trace parses as JSON and contains metadata, kernel and barrier events with
+// the fields chrome://tracing and Perfetto require.
+func TestProfileTraceExport(t *testing.T) {
+	r := profiledRunner(t, IslandsOfCores, false, 2)
+	defer r.Close()
+	r.EnableProfile(true)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var meta, complete, waits int
+	for _, ev := range tr.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			for _, key := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("complete event missing %q: %v", key, ev)
+				}
+			}
+			if strings.HasPrefix(ev["name"].(string), "wait:") {
+				waits++
+			}
+		}
+	}
+	// 2 process names + 16 thread names.
+	if meta != 18 {
+		t.Fatalf("metadata events = %d, want 18", meta)
+	}
+	if complete == 0 || waits == 0 {
+		t.Fatalf("complete events = %d (waits %d), want both > 0", complete, waits)
+	}
+	// Two steps must produce twice the items of one.
+	st := r.Schedule().Stats()
+	wantItems := 2 * (st.KernelItems + st.CopyItems + st.BarrierWaits)
+	// Kernel items expand into interior+border pieces at compile time, so
+	// the stats already count the expanded items; the event count must
+	// match exactly.
+	if complete != wantItems {
+		t.Fatalf("complete events = %d, want %d (2 steps x %d items)",
+			complete, wantItems, wantItems/2)
+	}
+}

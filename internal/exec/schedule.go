@@ -47,12 +47,28 @@ const (
 // schedItem is one precompiled unit of work in a worker's step program.
 type schedItem struct {
 	kind itemKind
-	kern stencil.Kernel
-	env  *stencil.Env
-	reg  grid.Region
-	dst  *grid.Field
-	src  *grid.Field
-	bar  *sched.Barrier
+	// phase indexes Schedule.phases: the profiling phase this item is
+	// accounted to. Kernel items carry their fused group's phase; barrier
+	// items carry the phase they seal (the wait at a barrier measures the
+	// imbalance of the work that precedes it).
+	phase int32
+	kern  stencil.Kernel
+	env   *stencil.Env
+	reg   grid.Region
+	dst   *grid.Field
+	src   *grid.Field
+	bar   *sched.Barrier
+}
+
+// phaseInfo labels one profiling phase of a compiled schedule.
+type phaseInfo struct {
+	// label names the phase: the fused group's member stages joined with
+	// "+" (matching perf.FusionTable rows), or a synthetic name for the
+	// non-compute phases ("global-join", "publish").
+	label string
+	// group is the fused-group index behind a compute phase, -1 for the
+	// synthetic phases.
+	group int
 }
 
 // Schedule is a compiled one-step execution program: for every worker of
@@ -74,9 +90,26 @@ type Schedule struct {
 	// fused phase groups the schedule compiles them into (equal when
 	// fusion is disabled).
 	stages, groups int
+	// phases lists the profiling phases of the schedule in first-emission
+	// order; schedItem.phase indexes this slice. Compute phases aggregate
+	// one fused group across all blocks and teams, so profiled totals line
+	// up with ScheduleStats.PhaseGroups.
+	phases []phaseInfo
 
-	failOnce sync.Once
-	failure  any
+	failMu  sync.Mutex
+	failed  bool
+	failure any
+}
+
+// PhaseLabels returns the schedule's profiling phase labels in order: the
+// fused groups (member stages joined with "+") followed by the synthetic
+// phases of the island strategies ("global-join", "publish").
+func (s *Schedule) PhaseLabels() []string {
+	out := make([]string, len(s.phases))
+	for i, p := range s.phases {
+		out[i] = p.label
+	}
+	return out
 }
 
 // SwapFeedback reports whether the compiled schedule publishes feedback by
@@ -86,20 +119,24 @@ func (s *Schedule) SwapFeedback() bool { return s.swapFeedback }
 // fail records the first worker failure and poisons every barrier so the
 // remaining workers unwind instead of deadlocking at the next phase.
 func (s *Schedule) fail(p any) {
-	s.failOnce.Do(func() {
-		s.failure = p
-		for _, b := range s.barriers {
-			b.Abort()
-		}
-	})
+	s.failMu.Lock()
+	if s.failed {
+		s.failMu.Unlock()
+		return
+	}
+	s.failed = true
+	s.failure = p
+	s.failMu.Unlock()
+	for _, b := range s.barriers {
+		b.Abort()
+	}
 }
 
 // firstFailure returns the first recorded worker panic value, or nil.
 func (s *Schedule) firstFailure() any {
-	var f any
-	s.failOnce.Do(func() {})
-	f = s.failure
-	return f
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failure
 }
 
 // run executes one worker's step program. It performs no allocations.
@@ -134,6 +171,14 @@ type scheduleCompiler struct {
 	// binds caches border-bound environment clones: pieces with the same
 	// pinned coordinates share one clone across stages and blocks.
 	binds map[bindKey]*stencil.Env
+	// curPhase is the profiling phase stamped onto emitted items; the
+	// compile loops set it to a group's phase before emitting the group's
+	// units, and leave it pointing at the just-finished phase when
+	// emitting the barrier that seals it.
+	curPhase int32
+	// phaseByGroup maps a fused-group index to its phase id, so a group
+	// swept once per block still aggregates into a single phase.
+	phaseByGroup map[int]int32
 }
 
 // bindKey identifies a border binding of an environment.
@@ -145,7 +190,7 @@ type bindKey struct {
 
 func newScheduleCompiler(p *plan, prog *stencil.KernelProgram, teams []*sched.Team, out *grid.Field) *scheduleCompiler {
 	c := &scheduleCompiler{p: p, prog: prog, teams: teams, out: out, sch: &Schedule{},
-		binds: make(map[bindKey]*stencil.Env)}
+		binds: make(map[bindKey]*stencil.Env), phaseByGroup: make(map[int]int32)}
 	c.exts = make([]stencil.Extent, len(prog.Stages))
 	for s := range prog.Stages {
 		c.exts[s] = stencil.InputsExtent(prog.Stages[s].Inputs)
@@ -285,7 +330,31 @@ func (c *scheduleCompiler) bindEnv(env *stencil.Env, pc stencil.BorderPiece) *st
 }
 
 func (c *scheduleCompiler) push(t, w int, it schedItem) {
+	it.phase = c.curPhase
 	c.sch.items[t][w] = append(c.sch.items[t][w], it)
+}
+
+// newPhase registers a profiling phase and returns its id.
+func (c *scheduleCompiler) newPhase(label string, group int) int32 {
+	id := int32(len(c.sch.phases))
+	c.sch.phases = append(c.sch.phases, phaseInfo{label: label, group: group})
+	return id
+}
+
+// groupPhase returns (creating on first use) the phase of fused group gi,
+// labeled with the member stage names joined by "+" — the same labels
+// perf.FusionTable and DescribeSchedule use.
+func (c *scheduleCompiler) groupPhase(gi int) int32 {
+	if id, ok := c.phaseByGroup[gi]; ok {
+		return id
+	}
+	var names []string
+	for _, s := range c.p.fuse.Groups[gi].Stages {
+		names = append(names, c.prog.Stages[s].Name)
+	}
+	id := c.newPhase(strings.Join(names, "+"), gi)
+	c.phaseByGroup[gi] = id
+	return id
 }
 
 // newBarrier creates and registers a barrier of n participants.
@@ -358,9 +427,12 @@ func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
 			continue
 		}
 		if !first {
+			// curPhase still names the previous group: the wait here
+			// measures that group's straggler time.
 			c.addGlobalBarrier(global)
 		}
 		first = false
+		c.curPhase = c.groupPhase(gi)
 		for _, u := range units {
 			chunks := decomp.SplitDim(u.reg, 0, cores)
 			for t, team := range c.teams {
@@ -389,6 +461,7 @@ func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
 				c.addGlobalBarrier(global)
 			}
 			first = false
+			c.curPhase = c.groupPhase(gi)
 			for _, u := range units {
 				chunks := decomp.SplitDim(u.reg, 1, cores)
 				for t, team := range c.teams {
@@ -421,6 +494,7 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 					c.addTeamBarrier(t, tbar)
 				}
 				first = false
+				c.curPhase = c.groupPhase(gi)
 				for _, u := range units {
 					chunks := decomp.SplitDim(u.reg, 1, n)
 					for w := 0; w < n; w++ {
@@ -430,8 +504,13 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 			}
 		}
 	}
+	// The end-of-compute machine-wide join gets its own phase: its wait is
+	// the inter-island imbalance (the paper's phase-5 synchronization),
+	// not any single group's.
+	c.curPhase = c.newPhase("global-join", -1)
 	global := c.newBarrier(c.totalCores())
 	c.addGlobalBarrier(global)
+	c.curPhase = c.newPhase("publish", -1)
 	for t, team := range c.teams {
 		n := team.Size()
 		src := envs[t].Field(c.prog.Output)
@@ -458,6 +537,7 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
 			for b := range c.p.blocks[t] {
 				for gi := range c.p.fuse.Groups {
 					span := func(s int) grid.Region { return c.p.workerRegion(t, s, b, subs[w]) }
+					c.curPhase = c.groupPhase(gi)
 					for _, u := range c.groupUnits(gi, span) {
 						c.addUnit(t, w, u, env, u.reg)
 					}
@@ -465,8 +545,10 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
 			}
 		}
 	}
+	c.curPhase = c.newPhase("global-join", -1)
 	global := c.newBarrier(c.totalCores())
 	c.addGlobalBarrier(global)
+	c.curPhase = c.newPhase("publish", -1)
 	for t, team := range c.teams {
 		n := team.Size()
 		subs := splitPart(c.p.parts[t], n)

@@ -1,0 +1,119 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"islands/internal/exec"
+)
+
+func sampleProfile() *exec.Profile {
+	return &exec.Profile{
+		Steps:   4,
+		Wall:    40 * time.Millisecond,
+		Workers: 16,
+		Phases: []exec.PhaseProfile{
+			{Label: "f1+f2+f3", Group: 0, Compute: 300 * time.Millisecond,
+				Spin: 20 * time.Millisecond, Park: 60 * time.Millisecond},
+			{Label: "psiNew", Group: 1, Compute: 100 * time.Millisecond,
+				Spin: 10 * time.Millisecond, Park: 10 * time.Millisecond},
+			{Label: "global-join", Group: -1,
+				Spin: 5 * time.Millisecond, Park: 15 * time.Millisecond},
+		},
+		Islands: []exec.IslandProfile{
+			{Team: 0, Workers: 8, Compute: 250 * time.Millisecond,
+				Spin: 20 * time.Millisecond, Park: 40 * time.Millisecond,
+				MinWorker: 25 * time.Millisecond, MaxWorker: 50 * time.Millisecond},
+			{Team: 1, Workers: 8, Compute: 150 * time.Millisecond,
+				Spin: 15 * time.Millisecond, Park: 45 * time.Millisecond,
+				MinWorker: 15 * time.Millisecond, MaxWorker: 30 * time.Millisecond},
+		},
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	tbl := ProfileTable("islands-of-cores", sampleProfile())
+	out := tbl.Render()
+	for _, want := range []string{"f1+f2+f3", "psiNew", "global-join", "total",
+		"compute ms", "spin ms", "park ms", "wait %", "share %"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Total row: compute 400ms, spin 35ms, park 85ms, wait 120/520, share 100.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last.Label != "total" {
+		t.Fatalf("last row = %q, want total", last.Label)
+	}
+	wantVals := []float64{400, 35, 85, 100 * 120.0 / 520.0, 100}
+	for i, want := range wantVals {
+		if got := last.Values[i]; got < want-0.01 || got > want+0.01 {
+			t.Fatalf("total[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// Share percentages over the phase rows sum to 100.
+	var share float64
+	for _, r := range tbl.Rows[:len(tbl.Rows)-1] {
+		share += r.Values[4]
+	}
+	if share < 99.9 || share > 100.1 {
+		t.Fatalf("phase shares sum to %v, want 100", share)
+	}
+}
+
+func TestIslandTable(t *testing.T) {
+	tbl := IslandTable("islands-of-cores", sampleProfile())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	r0 := tbl.Rows[0]
+	if r0.Label != "team 0" {
+		t.Fatalf("row 0 = %q, want team 0", r0.Label)
+	}
+	// workers, compute, wait, min, max, imbalance
+	want := []float64{8, 250, 60, 25, 50, 50}
+	for i, w := range want {
+		if got := r0.Values[i]; got < w-0.01 || got > w+0.01 {
+			t.Fatalf("team0[%d] = %v, want %v", i, got, w)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "imbalance %") {
+		t.Fatal("missing imbalance column")
+	}
+}
+
+func TestProfileVsModelTable(t *testing.T) {
+	// Model tags: 60 compute, 10 halo, 10 fill, 20 barrier -> work 80 / barrier 20.
+	tags := map[string]float64{
+		"stage":     60,
+		"halo pull": 10,
+		"fill":      10,
+		"barrier":   20,
+	}
+	tbl := ProfileVsModelTable("islands-of-cores", sampleProfile(), tags)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	work, barrier := tbl.Rows[0], tbl.Rows[1]
+	// Measured: compute 400 of 520 = 76.9%, barrier 120 of 520 = 23.1%.
+	if got := work.Values[0]; got < 76.8 || got > 77.0 {
+		t.Fatalf("measured work = %v, want ~76.9", got)
+	}
+	if got := work.Values[1]; got != 80 {
+		t.Fatalf("model work = %v, want 80", got)
+	}
+	if got := barrier.Values[0]; got < 23.0 || got > 23.2 {
+		t.Fatalf("measured barrier = %v, want ~23.1", got)
+	}
+	if got := barrier.Values[1]; got != 20 {
+		t.Fatalf("model barrier = %v, want 20", got)
+	}
+	// Each column sums to ~100.
+	for col := 0; col < 2; col++ {
+		sum := work.Values[col] + barrier.Values[col]
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("column %d sums to %v, want 100", col, sum)
+		}
+	}
+}

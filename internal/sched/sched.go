@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"islands/internal/topology"
 )
@@ -61,12 +62,27 @@ func (b *Barrier) Size() int { return b.n }
 // participant can only be calling Wait for the phase it has not yet passed,
 // so the loaded generation is exactly the phase it arrives at, and the flip
 // (performed by the last arriver) cannot happen before its own arrival.
+//
+// Abort semantics: a Wait that begins after Abort panics immediately; a Wait
+// concurrent with Abort either panics or completes its phase normally (when
+// its release strictly preceded the abort) — but it never deadlocks. The
+// last arriver re-checks the abort flag after performing the flip, so a
+// barrier aborted between its entry check and its release does not let it
+// escape while its (aborting) teammates unwind.
 func (b *Barrier) Wait() {
+	b.wait(false)
+}
+
+// wait implements Wait and, when timed, reports how the crossing was spent:
+// time spinning (cooperative yields) and time parked on the condition
+// variable. With timed=false no clocks are read at all — the plain Wait path
+// of the disabled-profiler executor stays exactly as cheap as before.
+func (b *Barrier) wait(timed bool) (spin, park time.Duration) {
 	if b.aborted.Load() {
 		panic("sched: barrier aborted")
 	}
 	if b.n == 1 {
-		return
+		return 0, 0
 	}
 	gen := b.gen.Load()
 	if int(b.arrived.Add(1)) == b.n {
@@ -78,33 +94,68 @@ func (b *Barrier) Wait() {
 		b.gen.Add(1)
 		b.mu.Unlock()
 		b.cond.Broadcast()
-		return
+		// An abort that raced with this release must not let the
+		// releasing participant continue as if the phase succeeded.
+		if b.aborted.Load() {
+			panic("sched: barrier aborted")
+		}
+		return 0, 0
 	}
-	for spin := 0; spin < barrierSpin; spin++ {
+	var start time.Time
+	for spins := 0; spins < barrierSpin; spins++ {
 		if b.gen.Load() != gen {
 			if b.aborted.Load() {
 				panic("sched: barrier aborted")
 			}
-			return
+			if timed && spins > 0 {
+				spin = time.Since(start)
+			}
+			return spin, 0
+		}
+		if timed && spins == 0 {
+			start = time.Now()
 		}
 		runtime.Gosched()
 	}
+	var parkStart time.Time
+	if timed {
+		parkStart = time.Now()
+		spin = parkStart.Sub(start)
+	}
 	b.mu.Lock()
-	for b.gen.Load() == gen {
+	// Re-check the abort flag under the mutex: an Abort that completed
+	// between the spin loop and the park would otherwise have already
+	// broadcast, leaving a late arriver parked forever.
+	for b.gen.Load() == gen && !b.aborted.Load() {
 		b.cond.Wait()
 	}
 	b.mu.Unlock()
+	if timed {
+		park = time.Since(parkStart)
+	}
 	if b.aborted.Load() {
 		panic("sched: barrier aborted")
 	}
+	return spin, park
+}
+
+// WaitProfiled is Wait with wall-clock accounting: it additionally returns
+// the time spent spinning (cooperative yields) and the time spent parked on
+// the condition variable. The fast path — teammates already arrived when
+// this participant checked — reads no clocks at all.
+func (b *Barrier) WaitProfiled() (spin, park time.Duration) {
+	return b.wait(true)
 }
 
 // Abort poisons the barrier and releases every waiter (current and future)
 // by panicking in them. It is called when a participant dies mid-phase, so
-// the survivors unwind instead of deadlocking at the next Wait.
+// the survivors unwind instead of deadlocking at the next Wait. The flag and
+// the generation bump are published under the barrier's mutex, so a waiter
+// that checked the generation under the same mutex cannot park after the
+// abort's broadcast (it either sees the flag or receives the wakeup).
 func (b *Barrier) Abort() {
-	b.aborted.Store(true)
 	b.mu.Lock()
+	b.aborted.Store(true)
 	b.gen.Add(1)
 	b.mu.Unlock()
 	b.cond.Broadcast()

@@ -8,7 +8,7 @@
 # BENCHTIME overrides the per-benchmark iteration count (default 30x, enough
 # to amortize warm-up on the small benchmark grid).
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 label=${1:-"$(date -u +%Y-%m-%dT%H:%M:%SZ)"}
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
