@@ -8,6 +8,13 @@
 // Usage:
 //
 //	go test -bench BenchmarkCompute -benchmem . | benchjson -o BENCH_compute.json -label "..." -commit abc1234
+//
+// With -smoke the tool is a CI regression gate instead: it compares the
+// results on stdin against the last recorded run of the trajectory file
+// (timing deltas are printed but advisory — CI machines are too noisy to
+// gate on ns/op) and exits nonzero only when a benchmark reports more than
+// zero allocs/op, the one regression the compiled-schedule backend treats
+// as hard. Smoke mode never writes the trajectory file.
 package main
 
 import (
@@ -47,6 +54,7 @@ func main() {
 	label := flag.String("label", "", "label for this run")
 	commit := flag.String("commit", "", "commit hash the run was taken at")
 	match := flag.String("match", "Benchmark", "only record benchmarks whose name has this prefix")
+	smoke := flag.Bool("smoke", false, "regression smoke: compare stdin against the file's last run (timing advisory), fail only on allocs/op > 0, write nothing")
 	flag.Parse()
 
 	run := Run{Label: *label, Commit: *commit}
@@ -63,14 +71,11 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines matching %q on stdin", *match))
 	}
 
-	var f File
-	if data, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(data, &f); err != nil {
-			fatal(fmt.Errorf("%s: %w", *out, err))
-		}
-	} else if !os.IsNotExist(err) {
-		fatal(err)
+	if *smoke {
+		os.Exit(smokeCheck(os.Stderr, run, loadFile(*out, false)))
 	}
+
+	f := loadFile(*out, true)
 	if f.Benchmark == "" {
 		f.Benchmark = *match
 	}
@@ -84,6 +89,70 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: recorded %d results to %s\n", len(run.Results), *out)
+}
+
+// loadFile reads the trajectory file, tolerating its absence. A truncated or
+// corrupt file must not wedge the benchmark pipeline: when quarantine is set
+// (append mode) the bad file is moved aside to <name>.bad and a fresh
+// trajectory is started, with a warning; in smoke mode the file is left
+// untouched and the comparison simply runs without a baseline.
+func loadFile(path string, quarantine bool) File {
+	var f File
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(data, &f); err == nil {
+		return f
+	} else if !quarantine {
+		fmt.Fprintf(os.Stderr, "benchjson: warning: %s is corrupt (%v); comparing without a baseline\n", path, err)
+		return File{}
+	} else {
+		bad := path + ".bad"
+		if mvErr := os.Rename(path, bad); mvErr != nil {
+			fatal(fmt.Errorf("%s is corrupt (%v) and could not be moved aside: %w", path, err, mvErr))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: warning: %s was corrupt (%v); moved to %s, starting a fresh trajectory\n",
+			path, err, bad)
+		return File{}
+	}
+}
+
+// smokeCheck prints a benchstat-style comparison of the incoming run against
+// the baseline file's last run and returns the process exit code: nonzero
+// only when a benchmark allocates in steady state. Timing deltas are
+// advisory by design — shared CI runners jitter far beyond real regressions,
+// but allocs/op is deterministic.
+func smokeCheck(w *os.File, run Run, baseline File) int {
+	base := map[string]Result{}
+	if n := len(baseline.Runs); n > 0 {
+		last := baseline.Runs[n-1]
+		for _, r := range last.Results {
+			base[r.Name] = r
+		}
+		fmt.Fprintf(w, "benchjson: smoke vs last recorded run %q (%d runs on file)\n", last.Label, n)
+	} else {
+		fmt.Fprintf(w, "benchjson: smoke with no recorded baseline\n")
+	}
+	code := 0
+	for _, r := range run.Results {
+		line := fmt.Sprintf("  %-40s %14.0f ns/op", r.Name, r.NsPerOp)
+		if b, ok := base[r.Name]; ok && b.NsPerOp > 0 {
+			line += fmt.Sprintf("  %+7.1f%% vs %.0f (advisory)", 100*(r.NsPerOp-b.NsPerOp)/b.NsPerOp, b.NsPerOp)
+		}
+		if r.AllocsPerOp > 0 {
+			line += fmt.Sprintf("  FAIL: %g allocs/op, want 0", r.AllocsPerOp)
+			code = 1
+		}
+		fmt.Fprintln(w, line)
+	}
+	if code != 0 {
+		fmt.Fprintln(w, "benchjson: smoke FAILED: steady-state allocations detected")
+	}
+	return code
 }
 
 // parseLine parses one `go test -bench` result line:

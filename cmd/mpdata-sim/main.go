@@ -97,6 +97,7 @@ func main() {
 	iord := flag.Int("iord", 2, "MPDATA order (number of passes, 1..4)")
 	dump := flag.String("dump", "", "write the final psi field to this file (grid field format)")
 	plan := flag.Bool("plan", false, "print the execution geometry (islands, blocks, redundancy) and exit")
+	schedule := flag.Bool("schedule", false, "print every strategy's compiled schedule and feedback-publish table (mode, halo strips, bytes per step) and exit")
 	topo := flag.Bool("topology", false, "print the simulated machine description and exit")
 	flag.Parse()
 
@@ -147,6 +148,13 @@ func main() {
 
 	if *profile || *traceOut != "" {
 		if err := runProfiled(domain, cfg, *profile, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *schedule {
+		if err := runScheduleReport(domain, cfg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -255,6 +263,47 @@ func main() {
 			fmt.Print(timeline)
 		}
 	}
+}
+
+// runScheduleReport compiles every strategy at the configured grid and
+// socket count and prints each compiled schedule (DescribeSchedule: per-team
+// items, barriers, feedback mode — for swap+halo the strip count and bytes
+// per step, for a refused exchange the fallback reason) followed by the
+// feedback-publish summary table.
+func runScheduleReport(domain islands.Size, cfg islands.Config) error {
+	m, err := topology.UV2000(cfg.Processors)
+	if err != nil {
+		return err
+	}
+	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: cfg.IORD, NonOscillatory: true})
+	if err != nil {
+		return err
+	}
+	cases := []profiledCase{
+		{"original", islands.Original, false},
+		{"(3+1)D", islands.Plus31D, false},
+		{"islands-of-cores", islands.IslandsOfCores, false},
+		{"islands-of-cores+core-islands", islands.IslandsOfCores, true},
+	}
+	fmt.Printf("compiled schedules: MPDATA %v on %d sockets\n\n", domain, cfg.Processors)
+	rows := make([]perf.FeedbackRow, 0, len(cases))
+	for _, c := range cases {
+		ec := exec.Config{
+			Machine: m, Strategy: c.strategy, Placement: cfg.Placement,
+			Variant: cfg.Variant, Boundary: islands.Clamp, Steps: cfg.Steps,
+			CoreIslands: c.coreIslands,
+		}
+		state := mpdata.NewState(domain)
+		runner, err := exec.NewRunner(ec, kp, state.InputMap(), mpdata.InPsi)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", c.name, runner.DescribeSchedule())
+		rows = append(rows, perf.FeedbackRow{Name: c.name, Stats: runner.Schedule().Stats()})
+		runner.Close()
+	}
+	fmt.Print(perf.FeedbackTable(domain, rows).Render())
+	return nil
 }
 
 // profiledCase is one strategy configuration of the -profile sweep.

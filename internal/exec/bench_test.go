@@ -34,12 +34,80 @@ func BenchmarkScheduleBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := compileSchedule(r.plan, prog, r.sch.Teams, r.envs, r.workerEnvs, out)
+		s, err := compileSchedule(r.plan, prog, r.sch.Teams, r.envs, r.workerEnvs, out, r.halo, "")
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(s.items) == 0 {
 			b.Fatal("empty schedule")
 		}
+	}
+}
+
+// BenchmarkPublish isolates the feedback-publish cost of the island
+// strategies at the compute-benchmark grid size: the same step run once with
+// the halo-strip exchange (per-island buffer swap + O(halo surface) strips)
+// and once with the whole-part publish copies it replaced
+// (Config.DisableHaloExchange). The ns/op gap between the two arms is the
+// publish-path saving inside an otherwise identical step; halo-bytes/step vs
+// part-bytes/step shows why.
+func BenchmarkPublish(b *testing.B) {
+	domain := grid.Sz(128, 64, 16)
+	m, err := topology.UV2000(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arms := []struct {
+		name        string
+		coreIslands bool
+		disable     bool
+	}{
+		{"islands/halo-strip", false, false},
+		{"islands/copy-publish", false, true},
+		{"core-islands/halo-strip", true, false},
+		{"core-islands/copy-publish", true, true},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			state := mpdata.NewState(domain)
+			state.SetGaussian(64, 32, 8, 4, 1, 0.1)
+			state.SetUniformVelocity(0.2, 0.1, 0.05)
+			r, err := NewRunner(Config{
+				Machine: m, Strategy: IslandsOfCores, CoreIslands: arm.coreIslands,
+				Boundary: stencil.Clamp, Steps: 1, BlockI: 16,
+				DisableHaloExchange: arm.disable,
+			}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			st := r.Schedule().Stats()
+			wantMode := FeedbackSwapHalo
+			if arm.disable {
+				wantMode = FeedbackCopy
+			}
+			if st.Feedback != wantMode {
+				b.Fatalf("feedback mode = %v (reason %q), want %v", st.Feedback, st.FallbackReason, wantMode)
+			}
+			if err := r.Run(); err != nil { // warm up first-touch and lazy init
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st.Feedback == FeedbackSwapHalo {
+				b.ReportMetric(float64(st.HaloBytes), "halo-bytes/step")
+			} else {
+				var partBytes int64
+				for _, p := range r.plan.parts {
+					partBytes += int64(p.Cells()) * grid.CellBytes
+				}
+				b.ReportMetric(float64(partBytes), "part-bytes/step")
+			}
+		})
 	}
 }

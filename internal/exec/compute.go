@@ -29,7 +29,9 @@ type Runner struct {
 	// envs holds one execution environment per island (a single shared
 	// one for Original and Plus31D). Island environments own private
 	// stage arrays — the islands' independence is structural, not just
-	// scheduled.
+	// scheduled. In the swap+halo feedback mode each island environment
+	// additionally owns a private double-buffered copy of the feedback
+	// field (see halo.go).
 	envs []*stencil.Env
 	// workerEnvs holds per-core environments when core-level sub-islands
 	// are enabled: each worker's intermediates are private, mirroring the
@@ -45,6 +47,16 @@ type Runner struct {
 	// may mutate the step inputs — e.g. update time-dependent velocity
 	// fields — or record diagnostics.
 	OnStepEnd func(step int)
+	// halo is the swap+halo exchange geometry (nil outside that mode);
+	// haloEnvs flattens the private environments in the geometry's order,
+	// and swapPairs precomputes each environment's (feedback, output)
+	// field pair so the per-step driver swap allocates nothing. fbStale
+	// marks the shared feedback grid as lagging the private buffers
+	// (cleared by SyncFeedback).
+	halo      *haloGeom
+	haloEnvs  []*stencil.Env
+	swapPairs [][2]*grid.Field
+	fbStale   bool
 	// prof is the runtime profiler state (nil = profiling off, the
 	// default; see profile.go). Set via EnableProfile, never during Run.
 	prof *profiler
@@ -72,11 +84,40 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 		inputs:   inputs,
 		feedback: feedback,
 	}
+	// Decide the island strategies' feedback mode before building the
+	// environments: swap+halo gives every island environment a private
+	// double-buffered feedback field (initialized from the shared grid),
+	// published per step by an O(1) buffer swap plus halo-strip pulls.
+	// Infeasible geometries (parts narrower than the step halo) fall back
+	// to the whole-part publish copies, recording the reason.
+	var halo *haloGeom
+	var haloReason string
+	if cfg.Strategy == IslandsOfCores {
+		if cfg.DisableHaloExchange {
+			haloReason = "disabled by Config.DisableHaloExchange"
+		} else {
+			halo, haloReason = haloGeometry(islandOwned(p), p.analysis.InputExtents[feedback], p.domain, cfg.Boundary)
+		}
+	}
+	// envInputs returns the step-input binding of one island environment:
+	// the shared fields, with the feedback input replaced by a private
+	// clone in swap+halo mode.
+	envInputs := func() map[string]*grid.Field {
+		if halo == nil {
+			return inputs
+		}
+		priv := make(map[string]*grid.Field, len(inputs))
+		for k, v := range inputs {
+			priv[k] = v
+		}
+		priv[feedback] = fb.Clone()
+		return priv
+	}
 	if cfg.CoreIslands {
 		for i := range p.parts {
 			var envs []*stencil.Env
 			for w := 0; w < cfg.Machine.Nodes[i].Cores; w++ {
-				env, err := stencil.NewEnv(&prog.Program, fb.Size, inputs)
+				env, err := stencil.NewEnv(&prog.Program, fb.Size, envInputs())
 				if err != nil {
 					r.Close()
 					return nil, err
@@ -85,10 +126,11 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 				envs = append(envs, env)
 			}
 			r.workerEnvs = append(r.workerEnvs, envs)
+			r.haloEnvs = append(r.haloEnvs, envs...)
 		}
 	} else {
 		for range p.parts {
-			env, err := stencil.NewEnv(&prog.Program, fb.Size, inputs)
+			env, err := stencil.NewEnv(&prog.Program, fb.Size, envInputs())
 			if err != nil {
 				r.Close()
 				return nil, err
@@ -96,8 +138,15 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 			env.BC = cfg.Boundary
 			r.envs = append(r.envs, env)
 		}
+		r.haloEnvs = r.envs
 	}
-	r.schedule, err = compileSchedule(p, prog, r.sch.Teams, r.envs, r.workerEnvs, fb)
+	if halo != nil {
+		r.halo = halo
+		for _, env := range r.haloEnvs {
+			r.swapPairs = append(r.swapPairs, [2]*grid.Field{env.Field(feedback), env.Field(prog.Output)})
+		}
+	}
+	r.schedule, err = compileSchedule(p, prog, r.sch.Teams, r.envs, r.workerEnvs, fb, halo, haloReason)
 	if err != nil {
 		r.Close()
 		return nil, err
@@ -153,8 +202,18 @@ func (r *Runner) Schedule() *Schedule { return r.schedule }
 
 // Run advances the program by the configured number of steps. Each step is
 // one alloc-free dispatch of the compiled schedule; feedback publication is
-// a buffer swap for the shared-environment strategies (Original, Plus31D)
-// and precompiled region copies for the island strategies.
+// a buffer swap for the shared-environment strategies (Original, Plus31D),
+// and for the island strategies either the swap+halo exchange (per-island
+// private buffer swaps plus precompiled halo-strip copies) or, on fallback,
+// whole-part region copies into the shared feedback grid.
+//
+// In the swap+halo mode the shared feedback input is not materialized
+// during the steady-state loop: the fresh values live in the islands'
+// private buffers until SyncFeedback copies them out. Run handles this
+// around OnStepEnd automatically (the hook observes and may mutate the
+// shared inputs, so feedback is synced before and reloaded after each
+// invocation); callers that read the feedback field directly after Run must
+// call SyncFeedback first. Simulation.Run does.
 //
 // A panic in any worker (a failing kernel) is converted into a returned
 // error: the schedule's barriers are aborted so every teammate unwinds and
@@ -187,16 +246,66 @@ func (r *Runner) Run() (err error) {
 			t0 = time.Now()
 		}
 		r.sch.RunFns(r.stepFns)
-		if r.schedule.swapFeedback {
+		switch r.schedule.mode {
+		case FeedbackSwap:
 			grid.SwapData(r.inputs[r.feedback], r.envs[0].Field(r.prog.Output))
+		case FeedbackSwapHalo:
+			// The workers have already pulled the halo strips into each
+			// island's output buffer (after the global join, so every
+			// source part was fresh); the O(islands) pointer swaps below
+			// complete the publication without touching cell data.
+			for i := range r.swapPairs {
+				grid.SwapData(r.swapPairs[i][0], r.swapPairs[i][1])
+			}
+			r.fbStale = true
 		}
 		if p := r.prof; p != nil {
 			p.steps++
 			p.wall += time.Since(t0)
 		}
 		if r.OnStepEnd != nil {
+			r.SyncFeedback()
 			r.OnStepEnd(step)
+			r.ReloadFeedback()
 		}
 	}
 	return nil
+}
+
+// SyncFeedback materializes the feedback input after swap+halo steps: every
+// island environment's owned part is copied from its private buffer into
+// the shared feedback field. It is a no-op in the other feedback modes and
+// when the shared field is already current, so it is safe (and cheap) to
+// call unconditionally. Callers that read the feedback field directly after
+// Run must call it; Simulation.Run does so on behalf of its State.
+func (r *Runner) SyncFeedback() {
+	if r.schedule == nil || r.schedule.mode != FeedbackSwapHalo || !r.fbStale {
+		return
+	}
+	fb := r.inputs[r.feedback]
+	for e, env := range r.haloEnvs {
+		if own := r.halo.owned[e]; !own.Empty() {
+			grid.CopyRegion(fb, env.Field(r.feedback), own)
+		}
+	}
+	r.fbStale = false
+}
+
+// ReloadFeedback re-imports the shared feedback field into the islands'
+// private buffers (each environment's part plus halo), for callers that
+// mutate the feedback input between steps — Run invokes it after every
+// OnStepEnd hook, and direct Runner users should call it after writing the
+// feedback field between Run calls. No-op outside the swap+halo mode.
+func (r *Runner) ReloadFeedback() {
+	if r.schedule == nil || r.schedule.mode != FeedbackSwapHalo {
+		return
+	}
+	fb := r.inputs[r.feedback]
+	for e, env := range r.haloEnvs {
+		priv := env.Field(r.feedback)
+		for _, box := range r.halo.boxes[e] {
+			grid.CopyRegion(priv, fb, box)
+		}
+	}
+	r.fbStale = false
 }

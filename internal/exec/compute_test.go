@@ -44,6 +44,7 @@ func runStrategy(t *testing.T, cfg Config, domain grid.Size) *grid.Field {
 	if err := runner.Run(); err != nil {
 		t.Fatal(err)
 	}
+	runner.SyncFeedback() // materialize swap+halo feedback into state.Psi
 	return state.Psi
 }
 
@@ -131,6 +132,7 @@ func TestFig1StrategiesAgree(t *testing.T) {
 		if err := runner.Run(); err != nil {
 			t.Fatal(err)
 		}
+		runner.SyncFeedback()
 		runner.Close()
 		results = append(results, inputs["in"])
 	}

@@ -81,6 +81,16 @@ func (r *Runner) DescribeSchedule() string {
 			team.ID, team.Size(), kernels, copies, waits)
 	}
 	fmt.Fprintf(&b, "  phases: %s\n", strings.Join(r.schedule.PhaseLabels(), " | "))
+	fmt.Fprintf(&b, "  feedback mode: %s", st.Feedback)
+	switch {
+	case st.Feedback == FeedbackSwapHalo:
+		fmt.Fprintf(&b, " — %d halo strips, %d bytes exchanged per step (%.1f%% of the feedback grid)",
+			st.HaloStrips, st.HaloBytes,
+			100*float64(st.HaloBytes)/(float64(r.plan.domain.Cells())*grid.CellBytes))
+	case st.FallbackReason != "":
+		fmt.Fprintf(&b, " — halo fallback: %s", st.FallbackReason)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  %s\n", st)
 	return b.String()
 }

@@ -77,6 +77,15 @@ type Config struct {
 	// (stencil.PlanFusion), cutting per-block phase barriers 17 -> 7 for
 	// MPDATA. Tests and benchmarks use it as the fusion ablation.
 	DisableFusion bool
+	// DisableHaloExchange turns off the island strategies' swap+halo
+	// feedback mode: every island publishes its whole part into the
+	// shared feedback grid by region copies after the global barrier, as
+	// in the pre-halo-exchange executor. The default (false) gives each
+	// island a private double-buffered feedback field published by an
+	// O(1) buffer swap plus halo-strip copies sized by the stencil's
+	// step halo (see halo.go) whenever the partition geometry allows it.
+	// Tests and benchmarks use it as the publish ablation.
+	DisableHaloExchange bool
 	// CoreIslands applies the islands idea inside each island (the
 	// paper's §6 future work): every core of a work team becomes a
 	// sub-island that computes its own j-trapezoids redundantly instead

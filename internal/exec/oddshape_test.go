@@ -74,17 +74,27 @@ func TestDescribeSchedule(t *testing.T) {
 	if st.KernelItems == 0 {
 		t.Fatal("no kernel items in islands schedule")
 	}
-	if st.CopyItems == 0 {
-		t.Fatal("islands schedule must publish feedback via copy items")
+	if st.Feedback != FeedbackSwapHalo {
+		t.Fatalf("islands feedback mode = %v, want swap+halo", st.Feedback)
 	}
 	if st.SwapFeedback || runner.Schedule().SwapFeedback() {
-		t.Fatal("islands schedule must not use swap feedback")
+		t.Fatal("islands schedule must not use the shared-environment swap")
+	}
+	if st.CopyItems == 0 || st.HaloStrips == 0 || st.HaloBytes == 0 {
+		t.Fatalf("swap+halo schedule has %d copy items, %d strips, %d bytes — want all > 0",
+			st.CopyItems, st.HaloStrips, st.HaloBytes)
+	}
+	// The exchange must be sized by the halo surface, not the part volume:
+	// the strips of one step must stay well under one island part.
+	if part := int64(runner.Plan().Parts[0].Cells()) * grid.CellBytes; st.HaloBytes >= part {
+		t.Fatalf("halo exchange moves %d bytes/step, not smaller than one part (%d bytes)", st.HaloBytes, part)
 	}
 	if st.Barriers == 0 || st.BarrierWaits == 0 {
 		t.Fatal("islands schedule has no barriers")
 	}
 	out := runner.DescribeSchedule()
-	for _, wantSub := range []string{"compiled schedule", "team  0", "team  1", "kernel items", "feedback=copy"} {
+	for _, wantSub := range []string{"compiled schedule", "team  0", "team  1", "kernel items",
+		"feedback mode: swap+halo", "halo strips", "feedback=swap+halo"} {
 		if !strings.Contains(out, wantSub) {
 			t.Fatalf("DescribeSchedule output missing %q:\n%s", wantSub, out)
 		}
@@ -99,7 +109,43 @@ func TestDescribeSchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Close()
-	if st2 := r2.Schedule().Stats(); !st2.SwapFeedback || st2.CopyItems != 0 {
-		t.Fatalf("original schedule: SwapFeedback=%v CopyItems=%d, want swap with no copies", st2.SwapFeedback, st2.CopyItems)
+	if st2 := r2.Schedule().Stats(); !st2.SwapFeedback || st2.Feedback != FeedbackSwap || st2.CopyItems != 0 {
+		t.Fatalf("original schedule: feedback=%v CopyItems=%d, want swap with no copies", st2.Feedback, st2.CopyItems)
+	}
+
+	// Parts narrower than the step halo must fall back to whole-part
+	// publish copies — loudly, with the reason in the stats and rendering.
+	state3 := freshState(grid.Sz(4, 12, 6)) // i split 2+2 < the ±3 psi halo
+	r3, err := NewRunner(Config{
+		Machine: m, Strategy: IslandsOfCores, Boundary: stencil.Clamp, Steps: 1, BlockI: 2,
+	}, mpdata.NewProgram(), state3.InputMap(), mpdata.InPsi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	st3 := r3.Schedule().Stats()
+	if st3.Feedback != FeedbackCopy || st3.CopyItems == 0 || st3.HaloStrips != 0 {
+		t.Fatalf("narrow-part schedule: feedback=%v copies=%d strips=%d, want copy fallback",
+			st3.Feedback, st3.CopyItems, st3.HaloStrips)
+	}
+	if st3.FallbackReason == "" || !strings.Contains(st3.FallbackReason, "narrower") {
+		t.Fatalf("narrow-part fallback reason = %q, want a loud narrow-part explanation", st3.FallbackReason)
+	}
+	if out := r3.DescribeSchedule(); !strings.Contains(out, "halo fallback") {
+		t.Fatalf("DescribeSchedule does not surface the fallback:\n%s", out)
+	}
+
+	// The ablation knob forces the same fallback and says so.
+	state4 := freshState(domain)
+	r4, err := NewRunner(Config{
+		Machine: m, Strategy: IslandsOfCores, Boundary: stencil.Clamp, Steps: 1, BlockI: 8,
+		DisableHaloExchange: true,
+	}, mpdata.NewProgram(), state4.InputMap(), mpdata.InPsi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r4.Close()
+	if st4 := r4.Schedule().Stats(); st4.Feedback != FeedbackCopy || !strings.Contains(st4.FallbackReason, "DisableHaloExchange") {
+		t.Fatalf("disabled-exchange schedule: feedback=%v reason=%q", st4.Feedback, st4.FallbackReason)
 	}
 }

@@ -28,7 +28,8 @@ type Profile struct {
 	// Phases holds one entry per schedule phase, in execution order:
 	// every fused group once (aggregated over blocks and teams — the
 	// count of Group >= 0 entries equals ScheduleStats.PhaseGroups), then
-	// the island strategies' "global-join" and "publish" phases.
+	// the island strategies' "global-join" and "halo-exchange" (or
+	// "publish", in the copy-fallback mode) phases.
 	Phases []PhaseProfile
 	// Islands holds one entry per team, with the per-worker imbalance.
 	Islands []IslandProfile
@@ -40,7 +41,8 @@ type Profile struct {
 // and steps.
 type PhaseProfile struct {
 	// Label names the phase: the fused group's member stages joined with
-	// "+", or "global-join"/"publish" for the synthetic phases.
+	// "+", or "global-join"/"halo-exchange"/"publish" for the synthetic
+	// phases.
 	Label string
 	// Group is the fused-group index, or -1 for the synthetic phases.
 	Group int

@@ -126,7 +126,7 @@ func TestProfileGroupLabels(t *testing.T) {
 	got := r.Schedule().PhaseLabels()
 	want := []string{
 		"f1+f2+f3", "psiStar", "psiMax+psiMin+v1+v2+v3", "fluxIn+fluxOut",
-		"betaUp+betaDn", "g1+g2+g3", "psiNew", "global-join", "publish",
+		"betaUp+betaDn", "g1+g2+g3", "psiNew", "global-join", "halo-exchange",
 	}
 	if len(got) != len(want) {
 		t.Fatalf("phase labels = %v, want %v", got, want)

@@ -36,8 +36,9 @@ const (
 	// of split-kernel stages are pre-cut into interior (fast path, flat
 	// indexing) and border (slow path, boundary conditions) pieces.
 	kernelItem itemKind = iota
-	// copyItem publishes a region of an island-private output field into a
-	// shared field (the feedback input).
+	// copyItem copies a region between two fields: a whole-part publish
+	// into the shared feedback grid (copy mode), or a halo-strip pull from
+	// a neighbor environment's freshly computed buffer (swap+halo mode).
 	copyItem
 	// barrierItem waits at a phase barrier — the per-stage team join or
 	// the end-of-compute global join.
@@ -64,7 +65,7 @@ type schedItem struct {
 type phaseInfo struct {
 	// label names the phase: the fused group's member stages joined with
 	// "+" (matching perf.FusionTable rows), or a synthetic name for the
-	// non-compute phases ("global-join", "publish").
+	// non-compute phases ("global-join", "halo-exchange", "publish").
 	label string
 	// group is the fused-group index behind a compute phase, -1 for the
 	// synthetic phases.
@@ -81,11 +82,20 @@ type Schedule struct {
 	items [][][]schedItem
 	// barriers lists every barrier in the schedule, for Abort on failure.
 	barriers []*sched.Barrier
-	// swapFeedback marks strategies whose feedback is published by
-	// swapping the output buffer with the feedback input between steps
-	// (single shared environment); island-private environments publish via
-	// copyItems instead, because their outputs only cover their parts.
-	swapFeedback bool
+	// mode records how the schedule publishes feedback between steps:
+	// a buffer swap on the single shared environment (Original, Plus31D),
+	// whole-part publish copies into the shared feedback grid, or the
+	// island strategies' per-environment buffer swap plus halo-strip
+	// exchange (see halo.go).
+	mode FeedbackMode
+	// haloStrips / haloBytes total the swap+halo exchange per step
+	// (zero in the other modes).
+	haloStrips int
+	haloBytes  int64
+	// fallbackReason records, in copy mode, why the halo-strip exchange
+	// was not compiled (infeasible geometry or Config.DisableHaloExchange)
+	// — the loud half of the fallback rule.
+	fallbackReason string
 	// stages and groups record the program's stage count and the number of
 	// fused phase groups the schedule compiles them into (equal when
 	// fusion is disabled).
@@ -103,7 +113,8 @@ type Schedule struct {
 
 // PhaseLabels returns the schedule's profiling phase labels in order: the
 // fused groups (member stages joined with "+") followed by the synthetic
-// phases of the island strategies ("global-join", "publish").
+// phases of the island strategies ("global-join", then "halo-exchange" or
+// "publish" depending on the feedback mode).
 func (s *Schedule) PhaseLabels() []string {
 	out := make([]string, len(s.phases))
 	for i, p := range s.phases {
@@ -112,9 +123,17 @@ func (s *Schedule) PhaseLabels() []string {
 	return out
 }
 
+// Feedback reports how the compiled schedule publishes the step output into
+// the feedback input between steps.
+func (s *Schedule) Feedback() FeedbackMode { return s.mode }
+
 // SwapFeedback reports whether the compiled schedule publishes feedback by
-// buffer swap (true for Original and Plus31D) rather than by region copies.
-func (s *Schedule) SwapFeedback() bool { return s.swapFeedback }
+// a single shared-environment buffer swap (true for Original and Plus31D).
+func (s *Schedule) SwapFeedback() bool { return s.mode == FeedbackSwap }
+
+// FallbackReason returns, for a copy-mode schedule of an island strategy,
+// why the halo-strip exchange was not compiled ("" otherwise).
+func (s *Schedule) FallbackReason() string { return s.fallbackReason }
 
 // fail records the first worker failure and poisons every barrier so the
 // remaining workers unwind instead of deadlocking at the next phase.
@@ -179,6 +198,10 @@ type scheduleCompiler struct {
 	// phaseByGroup maps a fused-group index to its phase id, so a group
 	// swept once per block still aggregates into a single phase.
 	phaseByGroup map[int]int32
+	// halo is the swap+halo exchange geometry, nil when the island
+	// strategies must publish by whole-part copies; haloReason says why.
+	halo       *haloGeom
+	haloReason string
 }
 
 // bindKey identifies a border binding of an environment.
@@ -386,8 +409,10 @@ func (c *scheduleCompiler) addTeamBarrier(t int, bar *sched.Barrier) {
 // phase barrier, one set of halo regions per group — so stage fusion cuts
 // MPDATA's per-block phases 17 -> 7 (back to 17 with Config.DisableFusion).
 func compileSchedule(p *plan, prog *stencil.KernelProgram, teams []*sched.Team,
-	envs []*stencil.Env, workerEnvs [][]*stencil.Env, out *grid.Field) (*Schedule, error) {
+	envs []*stencil.Env, workerEnvs [][]*stencil.Env, out *grid.Field,
+	halo *haloGeom, haloReason string) (*Schedule, error) {
 	c := newScheduleCompiler(p, prog, teams, out)
+	c.halo, c.haloReason = halo, haloReason
 	groups, err := p.fuse.CompileGroups(prog)
 	if err != nil {
 		return nil, err
@@ -442,7 +467,7 @@ func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
 			}
 		}
 	}
-	c.sch.swapFeedback = true
+	c.sch.mode = FeedbackSwap
 }
 
 // compilePlus31D: cache blocks in sequence; within a block every fused group
@@ -472,7 +497,7 @@ func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
 			}
 		}
 	}
-	c.sch.swapFeedback = true
+	c.sch.mode = FeedbackSwap
 }
 
 // compileIslands: each team walks its island's blocks and fused groups with
@@ -510,6 +535,18 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 	c.curPhase = c.newPhase("global-join", -1)
 	global := c.newBarrier(c.totalCores())
 	c.addGlobalBarrier(global)
+	if c.halo != nil {
+		// swap+halo: team t's workers pull only the neighbor-facing
+		// strips of island t's step halo from the owners' freshly
+		// computed output buffers into island t's own output field
+		// (disjoint from every kernel write and every other strip); the
+		// driver then swaps each island's feedback/output buffers.
+		c.compileHaloExchange(func(e int) *stencil.Env { return envs[e] },
+			func(e int) (int, int, bool) { return e, c.teams[e].Size(), true })
+		return
+	}
+	c.sch.mode = FeedbackCopy
+	c.sch.fallbackReason = c.haloReason
 	c.curPhase = c.newPhase("publish", -1)
 	for t, team := range c.teams {
 		n := team.Size()
@@ -521,6 +558,46 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 			}
 		}
 	}
+}
+
+// compileHaloExchange emits the swap+halo feedback phase: for every private
+// environment (indexed in the halo geometry's flattened order), the strips
+// it pulls from the owners' output fields. envOf maps a flattened index to
+// its environment; teamOf maps it to (team, team size, split): team-level
+// environments split each strip across the team's workers along its longest
+// dimension (the same parallelism the publish copies had), worker-level
+// environments (core islands) run their own strips whole.
+func (c *scheduleCompiler) compileHaloExchange(envOf func(int) *stencil.Env, teamOf func(int) (int, int, bool)) {
+	c.sch.mode = FeedbackSwapHalo
+	c.sch.haloStrips = c.halo.stripCount
+	c.sch.haloBytes = c.halo.stripBytes
+	c.curPhase = c.newPhase("halo-exchange", -1)
+	for e := range c.halo.owned {
+		dst := envOf(e).Field(c.prog.Output)
+		t, n, split := teamOf(e)
+		for _, s := range c.halo.strips[e] {
+			src := envOf(s.owner).Field(c.prog.Output)
+			if split {
+				chunks := decomp.SplitDim(s.reg, decomp.LongestDim(s.reg), n)
+				for w := 0; w < n; w++ {
+					if !chunks[w].Empty() {
+						c.push(t, w, schedItem{kind: copyItem, dst: dst, src: src, reg: chunks[w]})
+					}
+				}
+			} else {
+				c.push(t, c.workerOf(e, t), schedItem{kind: copyItem, dst: dst, src: src, reg: s.reg})
+			}
+		}
+	}
+}
+
+// workerOf converts a flattened environment index to its worker index
+// within team t (core-islands flattening: teams in order, workers within).
+func (c *scheduleCompiler) workerOf(e, t int) int {
+	for i := 0; i < t; i++ {
+		e -= c.teams[i].Size()
+	}
+	return e
 }
 
 // compileCoreIslands: every worker is its own sub-island sweeping all blocks
@@ -548,6 +625,24 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
 	c.curPhase = c.newPhase("global-join", -1)
 	global := c.newBarrier(c.totalCores())
 	c.addGlobalBarrier(global)
+	if c.halo != nil {
+		// swap+halo at worker granularity: each sub-island pulls its own
+		// j/i halo strips — from teammates' sub-parts and from the
+		// neighbor islands' workers alike — then the driver swaps every
+		// worker's private feedback/output buffers.
+		flatTeam := make([]int, 0, c.totalCores())
+		for t, team := range c.teams {
+			for w := 0; w < team.Size(); w++ {
+				flatTeam = append(flatTeam, t)
+			}
+		}
+		c.compileHaloExchange(
+			func(e int) *stencil.Env { return workerEnvs[flatTeam[e]][c.workerOf(e, flatTeam[e])] },
+			func(e int) (int, int, bool) { return flatTeam[e], 0, false })
+		return
+	}
+	c.sch.mode = FeedbackCopy
+	c.sch.fallbackReason = c.haloReason
 	c.curPhase = c.newPhase("publish", -1)
 	for t, team := range c.teams {
 		n := team.Size()
@@ -576,13 +671,23 @@ type ScheduleStats struct {
 	// fusion is disabled).
 	Stages      int
 	PhaseGroups int
-	// SwapFeedback mirrors Schedule.SwapFeedback.
+	// Feedback is the schedule's feedback-publication mode; SwapFeedback
+	// mirrors Schedule.SwapFeedback (the shared-environment swap).
+	Feedback     FeedbackMode
 	SwapFeedback bool
+	// HaloStrips / HaloBytes total the swap+halo exchange per step (zero
+	// in the other modes); FallbackReason says why a copy-mode island
+	// schedule did not compile the halo-strip exchange.
+	HaloStrips     int
+	HaloBytes      int64
+	FallbackReason string
 }
 
 // Stats summarizes the schedule.
 func (s *Schedule) Stats() ScheduleStats {
-	st := ScheduleStats{Barriers: len(s.barriers), SwapFeedback: s.swapFeedback,
+	st := ScheduleStats{Barriers: len(s.barriers),
+		Feedback: s.mode, SwapFeedback: s.mode == FeedbackSwap,
+		HaloStrips: s.haloStrips, HaloBytes: s.haloBytes, FallbackReason: s.fallbackReason,
 		Stages: s.stages, PhaseGroups: s.groups}
 	for _, team := range s.items {
 		for _, items := range team {
@@ -606,12 +711,13 @@ func (s *Schedule) Stats() ScheduleStats {
 
 func (st ScheduleStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule: %d stages in %d phase groups, %d kernel items, %d copy items, %d waits at %d barriers, max %d items/worker, feedback=",
-		st.Stages, st.PhaseGroups, st.KernelItems, st.CopyItems, st.BarrierWaits, st.Barriers, st.MaxItemsPerWorker)
-	if st.SwapFeedback {
-		b.WriteString("swap")
-	} else {
-		b.WriteString("copy")
+	fmt.Fprintf(&b, "schedule: %d stages in %d phase groups, %d kernel items, %d copy items, %d waits at %d barriers, max %d items/worker, feedback=%s",
+		st.Stages, st.PhaseGroups, st.KernelItems, st.CopyItems, st.BarrierWaits, st.Barriers, st.MaxItemsPerWorker, st.Feedback)
+	if st.Feedback == FeedbackSwapHalo {
+		fmt.Fprintf(&b, " (%d strips, %d B/step)", st.HaloStrips, st.HaloBytes)
+	}
+	if st.FallbackReason != "" {
+		fmt.Fprintf(&b, " (halo fallback: %s)", st.FallbackReason)
 	}
 	return b.String()
 }

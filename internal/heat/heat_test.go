@@ -101,6 +101,7 @@ func TestHeatStrategiesAgree(t *testing.T) {
 		if err := runner.Run(); err != nil {
 			t.Fatal(err)
 		}
+		runner.SyncFeedback() // materialize swap+halo feedback into inputs[In]
 		runner.Close()
 		if d := grid.MaxAbsDiff(want, inputs[In]); d > 1e-12 {
 			t.Fatalf("%v differs from reference by %g", strat, d)

@@ -1,0 +1,56 @@
+package perf
+
+import (
+	"fmt"
+
+	"islands/internal/exec"
+	"islands/internal/grid"
+)
+
+// This file renders the feedback-publish side of compiled schedules: how
+// each strategy moves the step output back into the feedback input, and how
+// many bytes that costs per step. The shared-environment strategies swap
+// buffers (zero bytes); the island strategies either exchange O(halo
+// surface) strips between private double buffers (swap+halo) or fall back
+// to publishing whole parts through the shared grid (copy), which moves the
+// full field every step.
+
+// FeedbackRow names one compiled configuration and its schedule stats.
+type FeedbackRow struct {
+	Name  string
+	Stats exec.ScheduleStats
+}
+
+// FeedbackTable renders one row per strategy: the feedback mode (in the row
+// label, with a fallback marker when the halo exchange was refused), the
+// number of precompiled halo strips, the bytes those copies move per step,
+// and that traffic as a percentage of one full feedback field.
+func FeedbackTable(domain grid.Size, rows []FeedbackRow) *Table {
+	fieldBytes := float64(domain.Cells()) * grid.CellBytes
+	t := &Table{
+		Title: fmt.Sprintf("Feedback publish per step, grid %v (field %.0f KiB)",
+			domain, fieldBytes/1024),
+		ColHead: "strategy",
+		Cols:    []string{"halo strips", "copy items", "KiB/step", "% of field"},
+	}
+	for _, r := range rows {
+		label := fmt.Sprintf("%s (%s)", r.Name, r.Stats.Feedback)
+		if r.Stats.FallbackReason != "" {
+			label += " [fallback]"
+		}
+		var bytes float64
+		switch r.Stats.Feedback {
+		case exec.FeedbackSwapHalo:
+			bytes = float64(r.Stats.HaloBytes)
+		case exec.FeedbackCopy:
+			// Whole-part publish: the parts partition the domain, so one
+			// step republishes the entire field.
+			bytes = fieldBytes
+		}
+		t.AddRow(label, "%.1f", []float64{
+			float64(r.Stats.HaloStrips), float64(r.Stats.CopyItems),
+			bytes / 1024, 100 * bytes / fieldBytes,
+		})
+	}
+	return t
+}

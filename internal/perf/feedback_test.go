@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+func TestFeedbackTable(t *testing.T) {
+	domain := grid.Sz(32, 16, 8) // 4096 cells = 32 KiB field
+	rows := []FeedbackRow{
+		{Name: "original", Stats: exec.ScheduleStats{Feedback: exec.FeedbackSwap}},
+		{Name: "islands", Stats: exec.ScheduleStats{
+			Feedback: exec.FeedbackSwapHalo, HaloStrips: 4, HaloBytes: 8192, CopyItems: 16}},
+		{Name: "core-islands", Stats: exec.ScheduleStats{
+			Feedback: exec.FeedbackCopy, CopyItems: 32,
+			FallbackReason: "part is narrower than the step halo"}},
+	}
+	tbl := FeedbackTable(domain, rows)
+	out := tbl.Render()
+	for _, want := range []string{
+		"Feedback publish per step", "field 32 KiB",
+		"original (swap)", "islands (swap+halo)", "core-islands (copy) [fallback]",
+		"halo strips", "copy items", "KiB/step", "% of field",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	// Swap moves nothing; swap+halo moves exactly its strip bytes (8 KiB =
+	// 25% of the field); copy republishes the whole field (100%).
+	check := func(row int, strips, items, kib, pct float64) {
+		t.Helper()
+		got := tbl.Rows[row].Values
+		want := []float64{strips, items, kib, pct}
+		for i := range want {
+			if got[i] < want[i]-0.01 || got[i] > want[i]+0.01 {
+				t.Fatalf("row %d col %d = %v, want %v\n%s", row, i, got[i], want[i], out)
+			}
+		}
+	}
+	check(0, 0, 0, 0, 0)
+	check(1, 4, 16, 8, 25)
+	check(2, 0, 32, 32, 100)
+}
+
+// TestFeedbackTableFromCompiledSchedules renders the table from real
+// compiled schedules so the row labels and byte counts track the exec
+// package's actual modes rather than hand-built stats.
+func TestFeedbackTableFromCompiledSchedules(t *testing.T) {
+	domain := grid.Sz(32, 16, 8)
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]FeedbackRow, 0, 2)
+	for _, c := range []struct {
+		name  string
+		strat exec.Strategy
+	}{{"original", exec.Original}, {"islands", exec.IslandsOfCores}} {
+		state := mpdata.NewState(domain)
+		r, err := exec.NewRunner(exec.Config{
+			Machine: m, Strategy: c.strat, Boundary: stencil.Clamp, Steps: 1, BlockI: 8,
+		}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, FeedbackRow{Name: c.name, Stats: r.Schedule().Stats()})
+		r.Close()
+	}
+	out := FeedbackTable(domain, rows).Render()
+	if !strings.Contains(out, "original (swap)") || !strings.Contains(out, "islands (swap+halo)") {
+		t.Fatalf("unexpected modes in table:\n%s", out)
+	}
+}

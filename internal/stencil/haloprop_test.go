@@ -1,0 +1,279 @@
+package stencil
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the property test behind the halo-strip exchange: the
+// per-step input extents the backward analysis derives (and the exec
+// compiler uses to size island-private halo shells) must equal the width
+// implied by composing per-stage stencil extents over every dependency path
+// of the program — per face, the longest path from the output to the input
+// summing each edge's offset-box width. Two oracles check this from
+// opposite sides. The extent-composition oracle (an independent per-face
+// longest-path recursion, structurally unlike Analyze's single backward
+// sweep) must agree exactly. The point-tracking oracle pushes demand
+// displacement-by-displacement through every edge, collecting the realized
+// transitive read vectors; its bounding box must be contained in the
+// derived width, and is strictly smaller whenever one-sided offsets cancel
+// along a path (an edge that only ever looks j-1 followed by one that only
+// looks j+1 realizes j+0, but each edge's offset box still spans to its own
+// origin). That slack is deliberate conservatism — extents are boxes
+// anchored at the consumer cell — and the halo exchange inherits it: shells
+// sized by InputExtents can over-provision, never under-provision.
+
+// point is an absolute displacement relative to the output cell.
+type point struct{ di, dj, dk int }
+
+// transitiveReads pushes demand backward through the program and returns,
+// per producer name (stage or step input), the set of displacements at
+// which the output stage transitively reads it.
+func transitiveReads(p *Program) map[string]map[point]bool {
+	demand := make([]map[point]bool, len(p.Stages))
+	out := p.StageIndex(p.Output)
+	demand[out] = map[point]bool{{}: true}
+	reads := make(map[string]map[point]bool)
+	addRead := func(name string, pt point) {
+		if reads[name] == nil {
+			reads[name] = make(map[point]bool)
+		}
+		reads[name][pt] = true
+	}
+	for s := len(p.Stages) - 1; s >= 0; s-- {
+		if demand[s] == nil {
+			continue
+		}
+		for _, in := range p.Stages[s].Inputs {
+			pi := p.StageIndex(in.From)
+			for d := range demand[s] {
+				for _, o := range in.Offsets {
+					pt := point{d.di + o.DI, d.dj + o.DJ, d.dk + o.DK}
+					addRead(in.From, pt)
+					if pi >= 0 {
+						if demand[pi] == nil {
+							demand[pi] = make(map[point]bool)
+						}
+						demand[pi][pt] = true
+					}
+				}
+			}
+		}
+	}
+	return reads
+}
+
+// boundingExtent returns the per-face extent enclosing a read-point set.
+func boundingExtent(pts map[point]bool) Extent {
+	var e Extent
+	for p := range pts {
+		e = e.Max(Extent{
+			ILo: max(-p.di, 0), IHi: max(p.di, 0),
+			JLo: max(-p.dj, 0), JHi: max(p.dj, 0),
+			KLo: max(-p.dk, 0), KHi: max(p.dk, 0),
+		})
+	}
+	return e
+}
+
+// composedExtents is the extent-composition oracle: a memoized per-face
+// longest-path recursion from the output stage. demand(s) is, face by face,
+// the maximum over all consumers of s of the consumer's own demand plus the
+// consuming edge's offset-box width; an input's width is the same maximum
+// over the stages reading it. Faces compose independently, so this walks
+// consumer lists forward where Analyze sweeps stages backward — agreement
+// is a property, not a shared implementation.
+func composedExtents(p *Program) (inputs map[string]Extent, stageDemand []Extent) {
+	out := p.StageIndex(p.Output)
+	memo := make([]*Extent, len(p.Stages))
+	var demand func(s int) Extent
+	demand = func(s int) Extent {
+		if memo[s] != nil {
+			return *memo[s]
+		}
+		var d Extent
+		if s != out {
+			for t := s + 1; t < len(p.Stages); t++ {
+				offs := p.Stages[t].Reads(p.Stages[s].Name)
+				if offs == nil {
+					continue
+				}
+				d = d.Max(demand(t).Add(OffsetsExtent(offs)))
+			}
+		}
+		memo[s] = &d
+		return d
+	}
+	inputs = make(map[string]Extent)
+	for _, name := range p.StepInputs {
+		read := false
+		var w Extent
+		for s := range p.Stages {
+			if offs := p.Stages[s].Reads(name); offs != nil {
+				w = w.Max(demand(s).Add(OffsetsExtent(offs)))
+				read = true
+			}
+		}
+		if read {
+			inputs[name] = w
+		}
+	}
+	stageDemand = make([]Extent, len(p.Stages))
+	for s := range p.Stages {
+		stageDemand[s] = demand(s)
+	}
+	return inputs, stageDemand
+}
+
+// randomDAGProgram builds a random topologically ordered DAG program: stage
+// s+1 always reads stage s (keeping every stage live), plus random extra
+// edges to earlier stages and step inputs, with random offsets in [-2,2]^3.
+func randomDAGProgram(rng *rand.Rand, trial int) *Program {
+	nIn := 1 + rng.Intn(3)
+	p := &Program{Name: fmt.Sprintf("random-%d", trial)}
+	for i := 0; i < nIn; i++ {
+		p.StepInputs = append(p.StepInputs, fmt.Sprintf("in%d", i))
+	}
+	randOffsets := func() []Offset {
+		offs := make([]Offset, 1+rng.Intn(3))
+		for i := range offs {
+			offs[i] = Offset{rng.Intn(5) - 2, rng.Intn(5) - 2, rng.Intn(5) - 2}
+		}
+		return offs
+	}
+	nStages := 1 + rng.Intn(8)
+	for s := 0; s < nStages; s++ {
+		st := Stage{Name: fmt.Sprintf("s%d", s), Flops: 1}
+		if s == 0 {
+			st.Inputs = append(st.Inputs, Input{From: p.StepInputs[rng.Intn(nIn)], Offsets: randOffsets()})
+		} else {
+			st.Inputs = append(st.Inputs, Input{From: p.Stages[s-1].Name, Offsets: randOffsets()})
+		}
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			var from string
+			if pick := rng.Intn(nIn + s); pick < nIn {
+				from = p.StepInputs[pick]
+			} else {
+				from = p.Stages[pick-nIn].Name
+			}
+			if (&st).Reads(from) != nil {
+				continue // one Input entry per producer keeps the oracle simple
+			}
+			st.Inputs = append(st.Inputs, Input{From: from, Offsets: randOffsets()})
+		}
+		p.Stages = append(p.Stages, st)
+	}
+	p.Output = p.Stages[nStages-1].Name
+	return p
+}
+
+// TestHaloWidthMatchesComposedExtents is the property test referenced by the
+// exec halo-exchange compiler: on random DAG programs, Analyze's per-step
+// input extents (which size the island-private halo shells and strips) equal
+// the per-face longest-path composition of per-stage extents exactly, and
+// contain the bounding box of every realized transitive read — never wider
+// than the composition says, never narrower than an actual read needs.
+func TestHaloWidthMatchesComposedExtents(t *testing.T) {
+	contains := func(outer, inner Extent) bool { return outer.Max(inner) == outer }
+	rng := rand.New(rand.NewSource(20170814)) // PaCT 2017, deterministic
+	for trial := 0; trial < 300; trial++ {
+		p := randomDAGProgram(rng, trial)
+		h, err := Analyze(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nprogram: %+v", trial, err, p)
+		}
+		wantInputs, wantDemand := composedExtents(p)
+		reads := transitiveReads(p)
+		for _, name := range p.StepInputs {
+			got, ok := h.InputExtents[name]
+			want, read := wantInputs[name]
+			if ok != read {
+				t.Fatalf("trial %d: input %s derived=%v oracle-read=%v", trial, name, ok, read)
+			}
+			if got != want {
+				t.Fatalf("trial %d: input %s extent %v, composed extent %v\nprogram: %+v",
+					trial, name, got, want, p)
+			}
+			if realized := boundingExtent(reads[name]); !contains(got, realized) {
+				t.Fatalf("trial %d: input %s extent %v under-provisions realized reads %v",
+					trial, name, got, realized)
+			}
+		}
+		for s := range p.Stages {
+			if got := h.StageExtents[s]; got != wantDemand[s] {
+				t.Fatalf("trial %d: stage %s extent %v, composed demand %v",
+					trial, p.Stages[s].Name, got, wantDemand[s])
+			}
+			if realized := boundingExtent(reads[p.Stages[s].Name]); !contains(h.StageExtents[s], realized) {
+				t.Fatalf("trial %d: stage %s extent %v under-provisions realized reads %v",
+					trial, p.Stages[s].Name, h.StageExtents[s], realized)
+			}
+		}
+	}
+}
+
+// TestHaloWidthFusionInvariant: the step-input halo width is a property of
+// the program, not of the execution grouping. The unfused (singleton) plan
+// composes to exactly the stage-level width; the greedy fused plan, which
+// merges member extents per group, may only widen a group's sweep — it can
+// never narrow any step input's requirement below the analysis width, so an
+// exchange sized by Analyze never under-provisions a fused sweep's needed
+// reads. (The exec package asserts the operational half: compiled halo strip
+// counts and bytes are identical with fusion on and off.)
+func TestHaloWidthFusionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Group-granularity backward composition over a fusion plan.
+	composed := func(fp *FusionPlan) map[string]Extent {
+		p := fp.Program
+		groupOf := make([]int, len(p.Stages))
+		for s := range p.Stages {
+			groupOf[s] = fp.GroupOf(s)
+		}
+		demand := make([]Extent, len(fp.Groups))
+		live := make([]bool, len(fp.Groups))
+		live[groupOf[p.StageIndex(p.Output)]] = true
+		inputs := make(map[string]Extent)
+		for gi := len(fp.Groups) - 1; gi >= 0; gi-- {
+			if !live[gi] {
+				continue
+			}
+			for name, ext := range fp.GroupInputs(gi) {
+				req := demand[gi].Add(ext)
+				if pi := p.StageIndex(name); pi >= 0 {
+					pg := groupOf[pi]
+					if pg != gi { // intra-group producers are earlier members of the same sweep
+						demand[pg] = demand[pg].Max(req)
+						live[pg] = true
+					}
+				} else {
+					inputs[name] = inputs[name].Max(req)
+				}
+			}
+		}
+		return inputs
+	}
+	contains := func(outer, inner Extent) bool { return outer.Max(inner) == outer }
+	for trial := 0; trial < 200; trial++ {
+		p := randomDAGProgram(rng, trial)
+		h, err := Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := composed(SingletonFusion(p))
+		fp, err := PlanFusion(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused := composed(fp)
+		for name, want := range h.InputExtents {
+			if got := single[name]; got != want {
+				t.Fatalf("trial %d: unfused composition of %s = %v, analysis %v", trial, name, got, want)
+			}
+			if got := fused[name]; !contains(got, want) {
+				t.Fatalf("trial %d: fused composition of %s = %v under-provisions analysis width %v",
+					trial, name, got, want)
+			}
+		}
+	}
+}

@@ -187,7 +187,14 @@ func (s *Simulation) Run() error {
 	defer runner.Close()
 	runner.OnStepEnd = s.OnStep
 	s.runner = runner
-	return runner.Run()
+	if err := runner.Run(); err != nil {
+		return err
+	}
+	// The islands' swap+halo feedback mode keeps the fresh values in
+	// island-private buffers during the step loop; materialize them into
+	// State.Psi (a no-op for the other strategies and modes).
+	runner.SyncFeedback()
+	return nil
 }
 
 // Save writes the simulation state (all five fields and the completed-step
