@@ -1,0 +1,256 @@
+// Command mpdata-load drives an mpdata-serve instance with N concurrent
+// clients and prints a throughput/latency summary — the serving subsystem's
+// load generator and end-to-end smoke check.
+//
+//	mpdata-serve -addr 127.0.0.1:8080 &
+//	mpdata-load -addr http://127.0.0.1:8080 -jobs 100 -concurrency 8
+//
+// Jobs rotate round-robin over -strategies (all four by default: original,
+// 3+1d, islands, islands+core). Admission-control rejections (429) are
+// retried with the server's Retry-After hint and counted. The exit status is
+// non-zero if any job fails, so scripts can gate on it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"islands/internal/serve"
+	serveclient "islands/internal/serve/client"
+)
+
+// workload is one strategy arm of the rotation.
+type workload struct {
+	name        string
+	strategy    string
+	coreIslands bool
+}
+
+func parseWorkloads(s string) ([]workload, error) {
+	var out []workload
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		w := workload{name: name, strategy: name}
+		if base, ok := strings.CutSuffix(strings.ToLower(name), "+core"); ok {
+			w.strategy = base
+			w.coreIslands = true
+		}
+		if _, err := serve.ParseStrategy(w.strategy); err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no strategies given")
+	}
+	return out, nil
+}
+
+// jobOutcome is one completed submission's accounting.
+type jobOutcome struct {
+	strategy string
+	state    serve.JobState
+	err      string
+	latency  time.Duration
+	cacheHit bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpdata-load: ")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	jobs := flag.Int("jobs", 100, "total jobs to run")
+	concurrency := flag.Int("concurrency", 8, "concurrent clients")
+	gridFlag := flag.String("grid", "48x32x8", "job domain size NIxNJxNK")
+	steps := flag.Int("steps", 5, "time steps per job")
+	p := flag.Int("p", 2, "simulated UV 2000 sockets per job")
+	strategies := flag.String("strategies", "original,3+1d,islands,islands+core", "comma-separated strategy rotation (suffix +core for core islands)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job wait timeout")
+	flag.Parse()
+
+	if *jobs <= 0 || *concurrency <= 0 {
+		log.Fatal("jobs and concurrency must be positive")
+	}
+	loads, err := parseWorkloads(*strategies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Validate the spec template once, client-side, with the same helper
+	// the server uses — a bad flag fails fast instead of 100 times.
+	template := serve.Spec{Grid: *gridFlag, Steps: *steps, Processors: *p}
+	for _, w := range loads {
+		s := template
+		s.Strategy = w.strategy
+		s.CoreIslands = w.coreIslands
+		if err := s.Validate(); err != nil {
+			log.Fatalf("bad spec for %s: %v", w.name, err)
+		}
+	}
+
+	client := serveclient.New(*addr)
+	ctx := context.Background()
+	if err := client.Healthz(ctx); err != nil {
+		log.Fatalf("server not healthy at %s: %v", *addr, err)
+	}
+
+	var (
+		next     atomic.Int64
+		rejected atomic.Int64
+		mu       sync.Mutex
+		outcomes []jobOutcome
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(*jobs) {
+					return
+				}
+				w := loads[n%int64(len(loads))]
+				spec := template
+				spec.Strategy = w.strategy
+				spec.CoreIslands = w.coreIslands
+				out := runOne(ctx, client, spec, w.name, *timeout, &rejected)
+				mu.Lock()
+				outcomes = append(outcomes, out)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := summarize(outcomes, elapsed, rejected.Load())
+	printServerMetrics(ctx, client)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne submits one job (retrying admission rejections with the server's
+// hint) and waits for its terminal state.
+func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, name string, timeout time.Duration, rejected *atomic.Int64) jobOutcome {
+	t0 := time.Now()
+	var st serve.JobStatus
+	for {
+		var err error
+		st, err = client.Submit(ctx, spec)
+		if err == nil {
+			break
+		}
+		var apiErr *serveclient.APIError
+		if errors.As(err, &apiErr) && apiErr.IsRetryable() {
+			rejected.Add(1)
+			backoff := apiErr.RetryAfter
+			if backoff <= 0 {
+				backoff = 200 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		return jobOutcome{strategy: name, state: serve.StateFailed, err: fmt.Sprintf("submit: %v", err)}
+	}
+	wctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	final, err := client.Wait(wctx, st.ID, 25*time.Millisecond)
+	if err != nil {
+		return jobOutcome{strategy: name, state: serve.StateFailed, err: fmt.Sprintf("wait: %v", err)}
+	}
+	out := jobOutcome{strategy: name, state: final.State, err: final.Error, latency: time.Since(t0)}
+	if final.Result != nil {
+		out.cacheHit = final.Result.CacheHit
+	}
+	return out
+}
+
+// summarize prints the aggregate and per-strategy report; returns the number
+// of jobs that did not succeed.
+func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) int {
+	var ok, failed, canceled, hits int
+	latencies := make([]time.Duration, 0, len(outcomes))
+	perStrategy := map[string][]time.Duration{}
+	for _, o := range outcomes {
+		switch o.state {
+		case serve.StateSucceeded:
+			ok++
+			latencies = append(latencies, o.latency)
+			perStrategy[o.strategy] = append(perStrategy[o.strategy], o.latency)
+			if o.cacheHit {
+				hits++
+			}
+		case serve.StateCanceled:
+			canceled++
+		default:
+			failed++
+			log.Printf("FAILED [%s]: %s", o.strategy, o.err)
+		}
+	}
+	fmt.Printf("jobs: %d ok, %d failed, %d canceled (%d admission rejections retried)\n",
+		ok, failed, canceled, rejected)
+	fmt.Printf("wall: %.2fs, throughput %.1f jobs/s, schedule-cache hits %d/%d\n",
+		elapsed.Seconds(), float64(len(outcomes))/elapsed.Seconds(), hits, ok)
+	if len(latencies) > 0 {
+		fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(latencies, 50), pct(latencies, 90), pct(latencies, 99), pct(latencies, 100))
+	}
+	names := make([]string, 0, len(perStrategy))
+	for name := range perStrategy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ls := perStrategy[name]
+		fmt.Printf("  %-16s %3d jobs  p50 %s  max %s\n", name, len(ls), pct(ls, 50), pct(ls, 100))
+	}
+	return failed
+}
+
+// pct returns the q-th percentile of the (unsorted) latencies.
+func pct(ds []time.Duration, q int) time.Duration {
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted)*q/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Millisecond)
+}
+
+// printServerMetrics scrapes the server's cache and failure counters so the
+// operator (and the CI smoke script) sees the server-side view.
+func printServerMetrics(ctx context.Context, client *serveclient.Client) {
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		log.Printf("metrics scrape failed: %v", err)
+		return
+	}
+	for _, series := range []string{
+		"serve_jobs_succeeded_total", "serve_jobs_failed_total",
+		"serve_jobs_rejected_total",
+		"serve_schedule_cache_hits_total", "serve_schedule_cache_misses_total",
+	} {
+		if v, found := serveclient.MetricValue(m, series); found {
+			fmt.Printf("server %s %g\n", series, v)
+		}
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"islands"
 	"islands/internal/advisor"
@@ -21,55 +20,9 @@ import (
 	"islands/internal/grid"
 	"islands/internal/mpdata"
 	"islands/internal/perf"
+	"islands/internal/serve"
 	"islands/internal/topology"
 )
-
-// maxGridCells bounds the accepted domain size so absurd -grid values are
-// rejected with a diagnostic instead of reaching the allocator.
-const maxGridCells = int64(1) << 31
-
-func parseGrid(s string) (islands.Size, error) {
-	var ni, nj, nk int
-	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &ni, &nj, &nk); err != nil {
-		return islands.Size{}, fmt.Errorf("grid must look like 128x64x16: %w", err)
-	}
-	sz := islands.Sz(ni, nj, nk)
-	if !sz.Valid() {
-		return islands.Size{}, fmt.Errorf("grid extents must be positive: %s", s)
-	}
-	// Bound each extent before multiplying so the product cannot overflow.
-	if int64(ni) > maxGridCells || int64(nj) > maxGridCells || int64(nk) > maxGridCells ||
-		int64(ni)*int64(nj) > maxGridCells || int64(ni)*int64(nj)*int64(nk) > maxGridCells {
-		return islands.Size{}, fmt.Errorf("grid %s exceeds the supported %d cells", s, maxGridCells)
-	}
-	return sz, nil
-}
-
-func parseStrategy(s string) (islands.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "original":
-		return islands.Original, nil
-	case "3+1d", "(3+1)d", "blocked":
-		return islands.Plus31D, nil
-	case "islands", "islands-of-cores":
-		return islands.IslandsOfCores, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q (original, 3+1d, islands)", s)
-	}
-}
-
-func parsePlacement(s string) (islands.Placement, error) {
-	switch strings.ToLower(s) {
-	case "serial", "first-touch-serial":
-		return islands.FirstTouchSerial, nil
-	case "parallel", "first-touch", "first-touch-parallel":
-		return islands.FirstTouchParallel, nil
-	case "interleaved":
-		return islands.Interleaved, nil
-	default:
-		return 0, fmt.Errorf("unknown placement %q (serial, parallel, interleaved)", s)
-	}
-}
 
 func main() {
 	log.SetFlags(0)
@@ -101,23 +54,29 @@ func main() {
 	topo := flag.Bool("topology", false, "print the simulated machine description and exit")
 	flag.Parse()
 
-	domain, err := parseGrid(*gridFlag)
+	// Flag validation is shared with internal/serve (the job-spec boundary),
+	// so the CLI and the server reject bad inputs with identical diagnostics.
+	domain, err := serve.ParseGrid(*gridFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	strategy, err := parseStrategy(*strategyFlag)
+	if err := serve.ValidateSteps(*steps); err != nil {
+		log.Fatal(err)
+	}
+	if err := serve.ValidateProcessors(*p); err != nil {
+		log.Fatal(err)
+	}
+	strategy, err := serve.ParseStrategy(*strategyFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	placement, err := parsePlacement(*placementFlag)
+	placement, err := serve.ParsePlacement(*placementFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	variant := islands.VariantA
-	if strings.EqualFold(*variantFlag, "B") {
-		variant = islands.VariantB
-	} else if !strings.EqualFold(*variantFlag, "A") {
-		log.Fatalf("unknown variant %q", *variantFlag)
+	variant, err := serve.ParseVariant(*variantFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := islands.Config{

@@ -272,6 +272,25 @@ func (r *Runner) Run() (err error) {
 	return nil
 }
 
+// Abort poisons the runner's compiled schedule from outside the step loop:
+// the given reason is recorded as the schedule's first failure and every
+// phase barrier is aborted, so a concurrently executing Run unwinds promptly
+// and returns an error carrying the reason instead of completing its
+// remaining steps. It is the external cancellation hook for long-running
+// drivers (job deadlines and client cancellation in servers); like a worker
+// failure, the abort is sticky — the teams and barriers stay poisoned and the
+// runner cannot execute further steps, so callers should Close and rebuild.
+// Abort is safe to call from any goroutine, including concurrently with Run.
+//
+// If no step is in flight (or the in-flight step's workers have already
+// passed their last barrier), the current Run may still return nil; the
+// poisoning then surfaces on the next Run. Callers that must distinguish
+// cancellation from completion should therefore check their own cancellation
+// signal after Run returns rather than rely on the error alone.
+func (r *Runner) Abort(reason any) {
+	r.schedule.fail(reason)
+}
+
 // SyncFeedback materializes the feedback input after swap+halo steps: every
 // island environment's owned part is copied from its private buffer into
 // the shared feedback field. It is a no-op in the other feedback modes and

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"islands/internal/grid"
@@ -36,6 +37,74 @@ func boomProgram(t *testing.T) *stencil.KernelProgram {
 		t.Fatal(err)
 	}
 	return kp
+}
+
+// slowProgram builds a single-stage program whose kernel blocks on entry
+// until released, so a test can hold a Run mid-step deterministically.
+func slowProgram(t *testing.T, entered chan<- struct{}, release <-chan struct{}) *stencil.KernelProgram {
+	t.Helper()
+	var once sync.Once
+	kern := func(env *stencil.Env, r grid.Region) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		out := env.Field("out")
+		in := env.Field("in")
+		stencil.ForEach(r, func(i, j, k int) {
+			out.Set(i, j, k, in.At(i, j, k))
+		})
+	}
+	kp, err := stencil.BuildProgram("slow", []string{"in"}, "out", []stencil.KernelStage{{
+		Stage: stencil.Stage{
+			Name:   "out",
+			Inputs: []stencil.Input{{From: "in", Offsets: []stencil.Offset{{DI: 0, DJ: 0, DK: 0}}}},
+			Flops:  1,
+		},
+		Kernel: kern,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+// TestRunnerAbortCancelsRun drives the external cancellation hook: Abort from
+// another goroutine while a step is in flight must make Run return an error
+// carrying the abort reason, and the poisoning must be sticky.
+func TestRunnerAbortCancelsRun(t *testing.T) {
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	in := grid.NewField("in", grid.Sz(32, 16, 8))
+	in.Fill(1)
+	r, err := NewRunner(Config{
+		Machine: m, Strategy: IslandsOfCores, Boundary: stencil.Clamp,
+		Steps: 1000, BlockI: 8,
+	}, slowProgram(t, entered, release), map[string]*grid.Field{"in": in}, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- r.Run() }()
+	<-entered
+	r.Abort("canceled by test")
+	close(release)
+	runErr := <-errc
+	if runErr == nil {
+		t.Fatal("Run returned nil after Abort mid-step")
+	}
+	if !strings.Contains(runErr.Error(), "canceled by test") {
+		t.Fatalf("Run error = %q, want the abort reason", runErr)
+	}
+	if again := r.Run(); again == nil || again.Error() != runErr.Error() {
+		t.Fatalf("second Run error = %v, want sticky %q", again, runErr)
+	}
 }
 
 // TestRunWorkerPanicBecomesError is the failure-surfacing acceptance test: a

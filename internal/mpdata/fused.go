@@ -16,6 +16,7 @@ import (
 
 // fusedDonorFluxes computes the three donor-cell flux stages of one pass in
 // a single sweep: psi is streamed once for all three face directions.
+//
 //go:noinline
 func fusedDonorFluxes(f1n, f2n, f3n, u1n, u2n, u3n, psiName string) stencil.FusedKernel {
 	fast := func(env *stencil.Env, r grid.Region) {
@@ -61,6 +62,7 @@ func fusedDonorFluxes(f1n, f2n, f3n, u1n, u2n, u3n, psiName string) stencil.Fuse
 // fusedExtrema computes the 7-point maximum and minimum stages together:
 // the 14 neighbour loads of psi and the current iterate feed both extrema
 // instead of being streamed twice.
+//
 //go:noinline
 func fusedExtrema(maxName, minName, curName string) stencil.FusedKernel {
 	fast := func(env *stencil.Env, r grid.Region) {
@@ -102,6 +104,7 @@ func fusedExtrema(maxName, minName, curName string) stencil.FusedKernel {
 // fast path (pseudoVelStageNamed), so results are bit-identical; the shared
 // iterate and depth rows stay in L1 across the three passes instead of being
 // re-streamed from L2 per stage.
+//
 //go:noinline
 func fusedPseudoVel(v1n, v2n, v3n, curName, u1n, u2n, u3n string) stencil.FusedKernel {
 	fast := func(env *stencil.Env, r grid.Region) {
@@ -156,6 +159,7 @@ func fusedPseudoVel(v1n, v2n, v3n, curName, u1n, u2n, u3n string) stencil.FusedK
 // fusedLimiterFluxes computes the incoming and outgoing limiter flux totals
 // in one row sweep: the six pseudo-velocity face values feed both outputs,
 // so the velocity rows are loaded once instead of twice.
+//
 //go:noinline
 func fusedLimiterFluxes(inName, outName, curName, v1n, v2n, v3n string) stencil.FusedKernel {
 	fast := func(env *stencil.Env, r grid.Region) {
@@ -189,6 +193,7 @@ func fusedLimiterFluxes(inName, outName, curName, v1n, v2n, v3n string) stencil.
 // fusedLimitedFluxes computes the three limited corrective flux stages in
 // one sweep: the iterate and both limiter coefficients are loaded once per
 // cell and reused for all three face directions.
+//
 //go:noinline
 func fusedLimitedFluxes(g1n, g2n, g3n, v1n, v2n, v3n, curName, buName, bdName string) stencil.FusedKernel {
 	fast := func(env *stencil.Env, r grid.Region) {

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stepBuckets are the per-step latency histogram bounds in seconds.
+var stepBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// histogram is a fixed-bucket latency histogram (atomic, lock-free record).
+type histogram struct {
+	counts []atomic.Uint64 // one per bucket + overflow
+	sum    atomic.Uint64   // total in nanoseconds
+	n      atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(stepBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(stepBuckets, s)
+	h.counts[i].Add(1)
+	h.sum.Add(uint64(d.Nanoseconds()))
+	h.n.Add(1)
+}
+
+// Metrics is the server's instrumentation: monotonically increasing counters
+// plus per-strategy step-latency histograms. Gauges (queue depth, slot
+// occupancy, cache size) are read live from their owners at exposition time.
+type Metrics struct {
+	Submitted atomic.Uint64 // jobs accepted into the queue
+	Rejected  atomic.Uint64 // jobs refused by admission control (429)
+	Succeeded atomic.Uint64
+	Failed    atomic.Uint64
+	Canceled  atomic.Uint64
+	StepsRun  atomic.Uint64 // completed time steps across all jobs
+
+	mu    sync.Mutex
+	steps map[string]*histogram // per-strategy step latency
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{steps: make(map[string]*histogram)}
+}
+
+// ObserveStep records one completed step's latency for a strategy label.
+func (m *Metrics) ObserveStep(strategy string, d time.Duration) {
+	m.StepsRun.Add(1)
+	m.mu.Lock()
+	h := m.steps[strategy]
+	if h == nil {
+		h = newHistogram()
+		m.steps[strategy] = h
+	}
+	m.mu.Unlock()
+	h.observe(d)
+}
+
+// gauges are the live values the server injects at exposition time.
+type gauges struct {
+	QueueDepth    int
+	QueueCapacity int
+	SlotsBusy     int
+	SlotsTotal    int
+	CacheHits     uint64
+	CacheMisses   uint64
+	CacheSize     int
+	CacheEvicted  uint64
+	Running       int
+	Draining      bool
+}
+
+// write renders the Prometheus text exposition format.
+func (m *Metrics) write(w io.Writer, g gauges) {
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c("serve_jobs_submitted_total", "Jobs accepted into the queue.", m.Submitted.Load())
+	c("serve_jobs_rejected_total", "Jobs refused by admission control.", m.Rejected.Load())
+	c("serve_jobs_succeeded_total", "Jobs that completed successfully.", m.Succeeded.Load())
+	c("serve_jobs_failed_total", "Jobs that failed (worker failure or internal error).", m.Failed.Load())
+	c("serve_jobs_canceled_total", "Jobs canceled or expired (deadline, drain).", m.Canceled.Load())
+	c("serve_steps_total", "Completed simulation time steps across all jobs.", m.StepsRun.Load())
+	gauge("serve_jobs_running", "Jobs currently executing on a runner slot.", int64(g.Running))
+	gauge("serve_queue_depth", "Jobs waiting for admission.", int64(g.QueueDepth))
+	gauge("serve_queue_capacity", "Maximum queue depth before rejection.", int64(g.QueueCapacity))
+	gauge("serve_slots_busy", "Runner slots currently leased.", int64(g.SlotsBusy))
+	gauge("serve_slots_total", "Runner slot capacity.", int64(g.SlotsTotal))
+	c("serve_schedule_cache_hits_total", "Jobs that reused a cached compiled runner.", g.CacheHits)
+	c("serve_schedule_cache_misses_total", "Jobs that compiled a fresh runner.", g.CacheMisses)
+	c("serve_schedule_cache_evictions_total", "Cached runners discarded by the LRU bound.", g.CacheEvicted)
+	gauge("serve_schedule_cache_size", "Idle compiled runners currently cached.", int64(g.CacheSize))
+	draining := int64(0)
+	if g.Draining {
+		draining = 1
+	}
+	gauge("serve_draining", "1 while the server drains (no admissions).", draining)
+
+	fmt.Fprintf(w, "# HELP serve_step_seconds Per-step wall latency by strategy.\n# TYPE serve_step_seconds histogram\n")
+	m.mu.Lock()
+	labels := make([]string, 0, len(m.steps))
+	for k := range m.steps {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	hists := make([]*histogram, len(labels))
+	for i, k := range labels {
+		hists[i] = m.steps[k]
+	}
+	m.mu.Unlock()
+	for i, label := range labels {
+		h := hists[i]
+		var cum uint64
+		for b, bound := range stepBuckets {
+			cum += h.counts[b].Load()
+			fmt.Fprintf(w, "serve_step_seconds_bucket{strategy=%q,le=%q} %d\n", label, trimFloat(bound), cum)
+		}
+		cum += h.counts[len(stepBuckets)].Load()
+		fmt.Fprintf(w, "serve_step_seconds_bucket{strategy=%q,le=\"+Inf\"} %d\n", label, cum)
+		fmt.Fprintf(w, "serve_step_seconds_sum{strategy=%q} %g\n", label, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "serve_step_seconds_count{strategy=%q} %d\n", label, h.n.Load())
+	}
+}
+
+// trimFloat renders a bucket bound without trailing zeros.
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

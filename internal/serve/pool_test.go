@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"islands/internal/exec"
+)
+
+// fakeEngine counts builds and closes so pool tests can assert cache and
+// eviction behavior without compiling real runners.
+type fakeEngine struct {
+	closed atomic.Bool
+}
+
+func (e *fakeEngine) Reset() error           { return nil }
+func (e *fakeEngine) Step() error            { return nil }
+func (e *fakeEngine) Abort(string)           {}
+func (e *fakeEngine) Checksums() Checksums   { return Checksums{} }
+func (e *fakeEngine) SetProfiling(bool)      {}
+func (e *fakeEngine) Profile() *exec.Profile { return nil }
+func (e *fakeEngine) Close()                 { e.closed.Store(true) }
+
+func fakeFactory(builds *atomic.Int64) EngineFactory {
+	return func(NormSpec) (Engine, error) {
+		builds.Add(1)
+		return &fakeEngine{}, nil
+	}
+}
+
+func normSpec(t *testing.T, grid string) NormSpec {
+	t.Helper()
+	ns, err := Spec{Grid: grid, Steps: 1, Processors: 1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns
+}
+
+func TestPoolCacheHitSkipsBuild(t *testing.T) {
+	var builds atomic.Int64
+	p := NewPool(2, 4, fakeFactory(&builds))
+	defer p.Close()
+	ns := normSpec(t, "16x8x4")
+
+	l1, err := p.Acquire(context.Background(), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Hit {
+		t.Fatal("first acquire reported a cache hit")
+	}
+	l1.Release(true)
+
+	l2, err := p.Acquire(context.Background(), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Hit {
+		t.Fatal("second acquire of the same spec missed the cache")
+	}
+	l2.Release(true)
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("factory ran %d times, want 1", n)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestPoolDiscardOnRelease(t *testing.T) {
+	var builds atomic.Int64
+	p := NewPool(1, 4, fakeFactory(&builds))
+	defer p.Close()
+	ns := normSpec(t, "16x8x4")
+
+	l, err := p.Acquire(context.Background(), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := l.Engine().(*fakeEngine)
+	l.Release(false) // poisoned: must not be cached
+	if !eng.closed.Load() {
+		t.Fatal("discarded engine was not closed")
+	}
+
+	l2, err := p.Acquire(context.Background(), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Hit {
+		t.Fatal("acquire after discard reported a cache hit")
+	}
+	l2.Release(true)
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("factory ran %d times, want 2", n)
+	}
+}
+
+func TestPoolLRUEviction(t *testing.T) {
+	var builds atomic.Int64
+	p := NewPool(1, 2, fakeFactory(&builds))
+	defer p.Close()
+
+	grids := []string{"16x8x4", "24x8x4", "32x8x4"}
+	engines := make([]*fakeEngine, len(grids))
+	for i, g := range grids {
+		l, err := p.Acquire(context.Background(), normSpec(t, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = l.Engine().(*fakeEngine)
+		l.Release(true)
+	}
+
+	st := p.Stats()
+	if st.Idle != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 idle / 1 eviction", st)
+	}
+	if !engines[0].closed.Load() {
+		t.Fatal("LRU victim (first engine) was not closed")
+	}
+	if engines[1].closed.Load() || engines[2].closed.Load() {
+		t.Fatal("a recently used engine was evicted")
+	}
+}
+
+func TestPoolCapacityBlocksAcquire(t *testing.T) {
+	var builds atomic.Int64
+	p := NewPool(1, 2, fakeFactory(&builds))
+	defer p.Close()
+	ns := normSpec(t, "16x8x4")
+
+	l, err := p.Acquire(context.Background(), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The single slot is busy: a second acquire must block until released.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx, ns); err == nil {
+		t.Fatal("acquire succeeded while the only slot was busy")
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		l2, err := p.Acquire(context.Background(), ns)
+		if err == nil {
+			l2.Release(true)
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Release(true)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("blocked acquire failed after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire still blocked after the slot was released")
+	}
+}
+
+func TestPoolCloseClosesCachedEngines(t *testing.T) {
+	var builds atomic.Int64
+	p := NewPool(2, 4, fakeFactory(&builds))
+	ns := normSpec(t, "16x8x4")
+	l, err := p.Acquire(context.Background(), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := l.Engine().(*fakeEngine)
+	l.Release(true)
+
+	p.Close()
+	if !eng.closed.Load() {
+		t.Fatal("cached engine not closed by pool Close")
+	}
+	if _, err := p.Acquire(context.Background(), ns); err == nil {
+		t.Fatal("acquire on a closed pool succeeded")
+	}
+}

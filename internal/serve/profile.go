@@ -1,0 +1,13 @@
+package serve
+
+import (
+	"islands/internal/exec"
+	"islands/internal/perf"
+)
+
+// renderProfileTable renders the per-phase runtime breakdown of a job with
+// the same perf.ProfileTable that mpdata-sim -profile prints, so a job
+// result embeds the familiar phase table verbatim.
+func renderProfileTable(label string, prof *exec.Profile) string {
+	return perf.ProfileTable(label, prof).Render()
+}

@@ -1,0 +1,590 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDraining rejects submissions while the server drains (HTTP 503).
+var ErrDraining = errors.New("serve: server is draining, not admitting jobs")
+
+// Options configures a Server. The zero value selects the documented
+// defaults.
+type Options struct {
+	// Slots is the runner-slot capacity (0 = DefaultSlots(): host CPUs
+	// divided by the cores one simulated work team occupies).
+	Slots int
+	// MaxCached bounds the idle compiled-runner cache (0 = max(Slots, 8)).
+	MaxCached int
+	// QueueDepth bounds the admission queue (0 = 64).
+	QueueDepth int
+	// RetryAfter is the backoff hinted to rejected clients (0 = 1s).
+	RetryAfter time.Duration
+	// EngineFactory builds execution engines (nil = NewMPDATAEngine).
+	// Tests substitute deterministic or failure-injecting engines.
+	EngineFactory EngineFactory
+	// Logf receives operational log lines (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+// Server is the simulation serving subsystem: the admission queue, the
+// runner-slot pool with its schedule cache, the job registry and the HTTP
+// API. Create with NewServer, serve Handler(), stop with Drain or Close.
+type Server struct {
+	opts    Options
+	pool    *Pool
+	queue   *queue
+	metrics *Metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID uint64
+
+	running  atomic.Int64
+	draining atomic.Bool
+
+	// jobsWG tracks admitted jobs until their terminal transition; drain
+	// waits on it. dispatchWG tracks the dispatcher goroutines.
+	jobsWG     sync.WaitGroup
+	dispatchWG sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewServer builds the subsystem and starts one dispatcher per runner slot.
+func NewServer(opts Options) *Server {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		opts:    opts,
+		pool:    NewPool(opts.Slots, opts.MaxCached, opts.EngineFactory),
+		queue:   newQueue(opts.QueueDepth, opts.RetryAfter),
+		metrics: newMetrics(),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < s.pool.Capacity(); i++ {
+		s.dispatchWG.Add(1)
+		go s.dispatch()
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (tests assert on them directly).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// PoolStats snapshots the slot pool.
+func (s *Server) PoolStats() PoolStats { return s.pool.Stats() }
+
+// QueueDepth returns the number of jobs waiting for admission.
+func (s *Server) QueueDepth() int { return s.queue.depth() }
+
+// Submit validates a spec and admits it as a queued job. It returns
+// ErrDraining while the server drains, an *ErrQueueFull when the queue is at
+// depth, or a validation error for a bad spec.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	ns, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%08d", s.nextID)
+	j := newJob(id, spec, ns, time.Now())
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	s.jobsWG.Add(1)
+	if err := s.queue.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.jobsWG.Done()
+		if qf := (*ErrQueueFull)(nil); errors.As(err, &qf) {
+			s.metrics.Rejected.Add(1)
+		}
+		return nil, err
+	}
+	s.metrics.Submitted.Add(1)
+	return j, nil
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status returns a job's API snapshot with its live queue position.
+func (s *Server) Status(j *Job) JobStatus {
+	st := j.status()
+	if st.State == StateQueued {
+		st.QueuePosition = s.queue.position(j)
+	}
+	return st
+}
+
+// Cancel requests a job's cancellation: queued jobs are withdrawn
+// immediately, running jobs are aborted mid-step through the barrier-abort
+// path and finish as canceled.
+func (s *Server) Cancel(j *Job, reason string) {
+	j.Cancel(reason)
+	if s.queue.remove(j) {
+		s.finishJob(j, StateCanceled, j.cancelCause(), nil)
+	}
+}
+
+// dispatch is one slot's job loop: pop, lease an engine, execute, release.
+func (s *Server) dispatch() {
+	defer s.dispatchWG.Done()
+	for {
+		j, skipped := s.queue.pop()
+		for _, sk := range skipped {
+			s.finishJob(sk, sk.terminalOnCancel(), sk.cancelCause(), nil)
+		}
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one admitted job on a leased engine.
+func (s *Server) runJob(j *Job) {
+	if !j.setRunning(time.Now()) {
+		s.finishJob(j, j.terminalOnCancel(), j.cancelCause(), nil)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	queueWait := j.started.Sub(j.created)
+	lease, err := s.pool.Acquire(j.ctx, j.ns)
+	if err != nil {
+		if j.ctx.Err() != nil {
+			s.finishJob(j, j.terminalOnCancel(), j.cancelCause(), nil)
+		} else {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+		}
+		return
+	}
+	reuse := s.executeJob(j, lease, queueWait)
+	lease.Release(reuse)
+}
+
+// executeJob drives the engine through the job's steps, reporting progress
+// and watching the job context so a cancellation or deadline aborts an
+// in-flight step through the engine's barrier-abort path. It returns whether
+// the engine stayed healthy (reusable).
+func (s *Server) executeJob(j *Job, lease *Lease, queueWait time.Duration) (reuse bool) {
+	eng := lease.Engine()
+	if err := eng.Reset(); err != nil {
+		s.finishJob(j, StateFailed, err.Error(), nil)
+		return false
+	}
+	if j.ns.Profile {
+		eng.SetProfiling(true)
+	}
+
+	// The watcher aborts the engine when the job context fires mid-step;
+	// stopped (and joined) before the engine's fate is decided, so a
+	// completion cannot race an abort into a "healthy" release.
+	watcherStop := make(chan struct{})
+	var watcherWG sync.WaitGroup
+	watcherWG.Add(1)
+	go func() {
+		defer watcherWG.Done()
+		select {
+		case <-j.ctx.Done():
+			eng.Abort(j.cancelCause())
+		case <-watcherStop:
+		}
+	}()
+
+	label := j.ns.StrategyName()
+	var runErr error
+	start := time.Now()
+	steps := 0
+	for st := 0; st < j.ns.Steps; st++ {
+		if j.ctx.Err() != nil {
+			break
+		}
+		t0 := time.Now()
+		if runErr = eng.Step(); runErr != nil {
+			break
+		}
+		s.metrics.ObserveStep(label, time.Since(t0))
+		steps = st + 1
+		j.progress(steps)
+	}
+	wall := time.Since(start)
+	close(watcherStop)
+	watcherWG.Wait()
+
+	switch {
+	case j.ctx.Err() != nil:
+		// Canceled or expired — even if the abort raced a completed step,
+		// the engine's barriers may be poisoned, so never reuse it.
+		s.finishJob(j, j.terminalOnCancel(), j.cancelCause(), nil)
+		return false
+	case runErr != nil:
+		// Worker failures surface verbatim: the error carries the
+		// original kernel panic (exec's sticky failure path).
+		s.finishJob(j, StateFailed, runErr.Error(), nil)
+		return false
+	}
+
+	result := &Result{
+		Checksums: eng.Checksums(),
+		Strategy:  label,
+		Steps:     steps,
+		WallMs:    float64(wall.Nanoseconds()) / 1e6,
+		QueueMs:   float64(queueWait.Nanoseconds()) / 1e6,
+		CacheHit:  lease.Hit,
+	}
+	if steps > 0 {
+		result.StepMsAvg = result.WallMs / float64(steps)
+	}
+	if j.ns.Profile {
+		result.Profile = profileReport(label, eng)
+		eng.SetProfiling(false)
+	}
+	s.finishJob(j, StateSucceeded, "", result)
+	return true
+}
+
+// terminalOnCancel maps a canceled job to its terminal state: canceled for
+// client cancellations and deadlines, failed for drain-killed survivors (the
+// drain contract: abort survivors and report them failed).
+func (j *Job) terminalOnCancel() JobState {
+	if j.drainKilled.Load() {
+		return StateFailed
+	}
+	return StateCanceled
+}
+
+// finishJob performs the terminal transition and bumps the counters exactly
+// once.
+func (s *Server) finishJob(j *Job, state JobState, errMsg string, result *Result) {
+	if !j.finish(state, errMsg, result, time.Now()) {
+		return
+	}
+	switch state {
+	case StateSucceeded:
+		s.metrics.Succeeded.Add(1)
+	case StateFailed:
+		s.metrics.Failed.Add(1)
+		s.opts.Logf("job %s failed: %s", j.ID, errMsg)
+	case StateCanceled:
+		s.metrics.Canceled.Add(1)
+	}
+	s.jobsWG.Done()
+}
+
+// Drain performs the graceful shutdown contract: stop admitting, let queued
+// and running jobs finish within the timeout, then abort survivors (reported
+// failed) and wait for them to unwind. It returns nil when every job reached
+// a terminal state.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		survivors := 0
+		s.mu.Lock()
+		jobs := make([]*Job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			jobs = append(jobs, j)
+		}
+		s.mu.Unlock()
+		for _, j := range jobs {
+			if !j.State().Terminal() {
+				survivors++
+				j.drainKilled.Store(true)
+				j.Cancel("aborted by server drain")
+				if s.queue.remove(j) {
+					s.finishJob(j, StateFailed, "aborted by server drain", nil)
+				}
+			}
+		}
+		s.opts.Logf("drain timeout: aborted %d surviving jobs", survivors)
+		// Aborted steps unwind at the next barrier; give them a bounded
+		// grace period before declaring the drain failed.
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			s.shutdown()
+			return fmt.Errorf("serve: drain: %d jobs did not unwind after abort", survivors)
+		}
+	}
+	s.shutdown()
+	return nil
+}
+
+// Close shuts the server down without waiting: every non-terminal job is
+// canceled. Intended for tests and error paths; production uses Drain.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			j.Cancel("server closed")
+			if s.queue.remove(j) {
+				s.finishJob(j, StateCanceled, "server closed", nil)
+			}
+		}
+	}
+	s.jobsWG.Wait()
+	s.shutdown()
+}
+
+// shutdown stops the dispatchers and releases the pool (idempotent).
+func (s *Server) shutdown() {
+	s.closeOnce.Do(func() {
+		s.queue.close()
+		s.dispatchWG.Wait()
+		s.pool.Close()
+	})
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// profileReport renders the job's runtime profile in both rendered-table and
+// structured form — the same per-phase breakdown mpdata-sim -profile prints.
+func profileReport(label string, eng Engine) *ProfileReport {
+	prof := eng.Profile()
+	if prof == nil {
+		return nil
+	}
+	rep := &ProfileReport{Table: renderProfileTable(label, prof)}
+	for _, ph := range prof.Phases {
+		rep.Phases = append(rep.Phases, ProfilePhase{
+			Label:     ph.Label,
+			ComputeMs: float64(ph.Compute.Nanoseconds()) / 1e6,
+			SpinMs:    float64(ph.Spin.Nanoseconds()) / 1e6,
+			ParkMs:    float64(ph.Park.Nanoseconds()) / 1e6,
+		})
+	}
+	return rep
+}
+
+// --- HTTP API ---
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs              submit a job spec        -> 202 JobStatus
+//	GET  /v1/jobs/{id}         status + queue position  -> 200 JobStatus
+//	GET  /v1/jobs/{id}/events  SSE per-step progress
+//	GET  /v1/jobs/{id}/result  result once terminal     -> 200 JobStatus
+//	POST /v1/jobs/{id}/cancel  cancel queued or running -> 202 JobStatus
+//	GET  /metrics              text exposition
+//	GET  /healthz              200 ok / 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		var qf *ErrQueueFull
+		switch {
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "10")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		case errors.As(err, &qf):
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(qf.RetryAfter.Seconds()+0.999)))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, s.Status(j))
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, s.Status(j))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	st := s.Status(j)
+	if !st.State.Terminal() {
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job %s is %s, not finished", j.ID, st.State)})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel(j, "canceled by client")
+	writeJSON(w, http.StatusAccepted, s.Status(j))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+
+	writeEvent := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	// Opening snapshot so late subscribers see where the job stands.
+	st := s.Status(j)
+	if !writeEvent(Event{Type: "state", State: st.State, Step: st.Step, Steps: st.Steps, Error: st.Error}) {
+		return
+	}
+	if st.State.Terminal() {
+		writeEvent(Event{Type: "done", State: st.State, Step: st.Step, Steps: st.Steps, Error: st.Error})
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !writeEvent(ev) {
+				return
+			}
+			if ev.Type == "done" {
+				return
+			}
+		case <-j.Done():
+			// Flush any buffered events, then make sure a terminal
+			// event is delivered even if the buffer dropped it.
+			for {
+				select {
+				case ev := <-ch:
+					if !writeEvent(ev) {
+						return
+					}
+					if ev.Type == "done" {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			st := s.Status(j)
+			writeEvent(Event{Type: "done", State: st.State, Step: st.Step, Steps: st.Steps, Error: st.Error})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	ps := s.pool.Stats()
+	g := gauges{
+		QueueDepth:    s.queue.depth(),
+		QueueCapacity: s.queue.maxDepth,
+		SlotsBusy:     ps.Busy,
+		SlotsTotal:    ps.Capacity,
+		CacheHits:     ps.Hits,
+		CacheMisses:   ps.Misses,
+		CacheSize:     ps.Idle,
+		CacheEvicted:  ps.Evictions,
+		Running:       int(s.running.Load()),
+		Draining:      s.draining.Load(),
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, g)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

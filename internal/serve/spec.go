@@ -1,0 +1,324 @@
+// Package serve is the simulation serving subsystem: a pool of pre-warmed,
+// reusable runner slots (compiled execution schedules and private halo
+// buffers are cached per spec key, so repeat jobs skip the NewRunner compile
+// cost), an admission-controlled FIFO job queue with backpressure, and the
+// HTTP API served by cmd/mpdata-serve. The paper's discipline — islands are
+// independent within a step and meet only at one barrier — maps onto the
+// server shape: concurrent jobs are islands of work sharing a bounded slot
+// pool, meeting only at the admission queue.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"islands/internal/decomp"
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// Validation bounds shared by the server and the CLIs: absurd requests are
+// rejected with a diagnostic at the spec boundary instead of reaching the
+// allocator or panicking deep inside NewRunner.
+const (
+	// MaxGridCells bounds the accepted domain size.
+	MaxGridCells = int64(1) << 31
+	// MaxSteps bounds the accepted step count of one job.
+	MaxSteps = 1_000_000
+	// MaxProcessors is the simulated UV 2000's socket count.
+	MaxProcessors = 14
+)
+
+// Spec is one simulation job request: the wire format of POST /v1/jobs and
+// the validated form of the mpdata-sim flags. The zero value of every
+// optional field selects the documented default.
+type Spec struct {
+	// Grid is the domain size as "NIxNJxNK" (e.g. "128x64x16"). Required.
+	Grid string `json:"grid"`
+	// Steps is the number of MPDATA time steps (1..MaxSteps). Required.
+	Steps int `json:"steps"`
+	// Strategy is "original", "3+1d" or "islands" ("" = islands).
+	Strategy string `json:"strategy,omitempty"`
+	// Processors is the simulated UV 2000 socket count (1..14, 0 = 2).
+	Processors int `json:"processors,omitempty"`
+	// Placement is "serial", "parallel" or "interleaved" ("" = parallel).
+	Placement string `json:"placement,omitempty"`
+	// Variant is the 1D island mapping dimension, "A" or "B" ("" = A).
+	Variant string `json:"variant,omitempty"`
+	// Boundary is "clamp" or "periodic" ("" = clamp).
+	Boundary string `json:"boundary,omitempty"`
+	// CoreIslands applies the islands approach inside every island (§6).
+	CoreIslands bool `json:"core_islands,omitempty"`
+	// IORD is the MPDATA order, 1..4 (0 = the paper's default of 2).
+	IORD int `json:"iord,omitempty"`
+	// Unlimited disables the non-oscillatory flux limiter.
+	Unlimited bool `json:"unlimited,omitempty"`
+	// BlockI overrides the (3+1)D block width (0 = size from cache).
+	BlockI int `json:"block_i,omitempty"`
+	// DisableFusion turns off stage fusion (ablation knob).
+	DisableFusion bool `json:"disable_fusion,omitempty"`
+	// DisableHaloExchange forces the whole-part publish copies (ablation).
+	DisableHaloExchange bool `json:"disable_halo_exchange,omitempty"`
+	// Profile embeds the per-phase runtime breakdown (the same table
+	// mpdata-sim -profile prints) in the job result.
+	Profile bool `json:"profile,omitempty"`
+	// TimeoutMs is the job deadline in milliseconds, counted from
+	// submission (covers queue wait). 0 means no deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// NormSpec is a validated, fully defaulted spec in the executor's types.
+type NormSpec struct {
+	Domain              grid.Size
+	Steps               int
+	Strategy            exec.Strategy
+	Processors          int
+	Placement           grid.PlacementPolicy
+	Variant             decomp.Variant
+	Boundary            stencil.Boundary
+	CoreIslands         bool
+	IORD                int
+	Unlimited           bool
+	BlockI              int
+	DisableFusion       bool
+	DisableHaloExchange bool
+	Profile             bool
+	TimeoutMs           int
+}
+
+// ParseGrid parses "NIxNJxNK", rejecting non-positive extents and products
+// that overflow the supported cell count. It is the shared -grid validator
+// of mpdata-sim and the server.
+func ParseGrid(s string) (grid.Size, error) {
+	var ni, nj, nk int
+	var tail string
+	in := strings.ToLower(strings.TrimSpace(s))
+	if n, err := fmt.Sscanf(in, "%dx%dx%d%s", &ni, &nj, &nk, &tail); (err != nil && n < 3) || tail != "" {
+		return grid.Size{}, fmt.Errorf("grid must look like 128x64x16, got %q", s)
+	}
+	sz := grid.Sz(ni, nj, nk)
+	if !sz.Valid() {
+		return grid.Size{}, fmt.Errorf("grid extents must be positive: %s", s)
+	}
+	// Bound each extent before multiplying so the product cannot overflow.
+	if int64(ni) > MaxGridCells || int64(nj) > MaxGridCells || int64(nk) > MaxGridCells ||
+		int64(ni)*int64(nj) > MaxGridCells || int64(ni)*int64(nj)*int64(nk) > MaxGridCells {
+		return grid.Size{}, fmt.Errorf("grid %s exceeds the supported %d cells", s, MaxGridCells)
+	}
+	return sz, nil
+}
+
+// ParseStrategy maps the spec's strategy names (and the CLI aliases) to the
+// executor's enum. An empty string selects the islands strategy.
+func ParseStrategy(s string) (exec.Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "original":
+		return exec.Original, nil
+	case "3+1d", "(3+1)d", "blocked":
+		return exec.Plus31D, nil
+	case "islands", "islands-of-cores", "":
+		return exec.IslandsOfCores, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (original, 3+1d, islands)", s)
+	}
+}
+
+// ParsePlacement maps the placement names to the page placement policies.
+// An empty string selects parallel first touch.
+func ParsePlacement(s string) (grid.PlacementPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "serial", "first-touch-serial":
+		return grid.FirstTouchSerial, nil
+	case "parallel", "first-touch", "first-touch-parallel", "":
+		return grid.FirstTouchParallel, nil
+	case "interleaved":
+		return grid.Interleaved, nil
+	default:
+		return 0, fmt.Errorf("unknown placement %q (serial, parallel, interleaved)", s)
+	}
+}
+
+// ParseVariant maps "A"/"B" to the 1D island mapping variant ("" = A).
+func ParseVariant(s string) (decomp.Variant, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "A", "":
+		return decomp.VariantA, nil
+	case "B":
+		return decomp.VariantB, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (A = i dimension, B = j)", s)
+	}
+}
+
+// ParseBoundary maps "clamp"/"periodic" to the boundary condition ("" =
+// clamp).
+func ParseBoundary(s string) (stencil.Boundary, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "clamp", "":
+		return stencil.Clamp, nil
+	case "periodic":
+		return stencil.Periodic, nil
+	default:
+		return 0, fmt.Errorf("unknown boundary %q (clamp, periodic)", s)
+	}
+}
+
+// ValidateSteps rejects non-positive and absurd step counts — the shared
+// -steps validator of mpdata-sim and the server.
+func ValidateSteps(steps int) error {
+	if steps <= 0 {
+		return fmt.Errorf("steps must be positive, got %d", steps)
+	}
+	if steps > MaxSteps {
+		return fmt.Errorf("steps %d exceeds the supported maximum %d", steps, MaxSteps)
+	}
+	return nil
+}
+
+// ValidateProcessors rejects non-positive and out-of-range socket counts —
+// the shared -p validator (1..14 UV 2000 sockets, 8 workers each).
+func ValidateProcessors(p int) error {
+	if p <= 0 {
+		return fmt.Errorf("processors (worker teams) must be positive, got %d", p)
+	}
+	if p > MaxProcessors {
+		return fmt.Errorf("processors %d exceeds the UV 2000's %d sockets", p, MaxProcessors)
+	}
+	return nil
+}
+
+// Normalize validates the spec and resolves every field to the executor's
+// types, applying the documented defaults. CLI and server reject bad specs
+// through this single path, so both produce identical diagnostics.
+func (s Spec) Normalize() (NormSpec, error) {
+	var n NormSpec
+	var err error
+	if n.Domain, err = ParseGrid(s.Grid); err != nil {
+		return n, err
+	}
+	if err = ValidateSteps(s.Steps); err != nil {
+		return n, err
+	}
+	n.Steps = s.Steps
+	if n.Strategy, err = ParseStrategy(s.Strategy); err != nil {
+		return n, err
+	}
+	n.Processors = s.Processors
+	if n.Processors == 0 {
+		n.Processors = 2
+	}
+	if err = ValidateProcessors(n.Processors); err != nil {
+		return n, err
+	}
+	if n.Placement, err = ParsePlacement(s.Placement); err != nil {
+		return n, err
+	}
+	if n.Variant, err = ParseVariant(s.Variant); err != nil {
+		return n, err
+	}
+	if n.Boundary, err = ParseBoundary(s.Boundary); err != nil {
+		return n, err
+	}
+	if s.CoreIslands && n.Strategy != exec.IslandsOfCores {
+		return n, fmt.Errorf("core_islands requires the islands strategy")
+	}
+	n.CoreIslands = s.CoreIslands
+	n.IORD = s.IORD
+	if n.IORD == 0 {
+		n.IORD = 2
+	}
+	if n.IORD < 1 || n.IORD > 4 {
+		return n, fmt.Errorf("iord must be 1..4, got %d", s.IORD)
+	}
+	n.Unlimited = s.Unlimited
+	if s.BlockI < 0 {
+		return n, fmt.Errorf("block_i must be non-negative, got %d", s.BlockI)
+	}
+	n.BlockI = s.BlockI
+	n.DisableFusion = s.DisableFusion
+	n.DisableHaloExchange = s.DisableHaloExchange
+	n.Profile = s.Profile
+	if s.TimeoutMs < 0 {
+		return n, fmt.Errorf("timeout_ms must be non-negative, got %d", s.TimeoutMs)
+	}
+	n.TimeoutMs = s.TimeoutMs
+	return n, nil
+}
+
+// Validate checks the spec without returning the normalized form.
+func (s Spec) Validate() error {
+	_, err := s.Normalize()
+	return err
+}
+
+// StrategyName is the metrics/report label of the normalized strategy
+// ("islands+core-islands" when the §6 extension is on).
+func (n NormSpec) StrategyName() string {
+	name := n.Strategy.String()
+	if n.CoreIslands {
+		name += "+core-islands"
+	}
+	return name
+}
+
+// CacheKey identifies a compiled runner: every spec field that shapes the
+// compiled schedule, the environments or the halo geometry. Steps, Profile
+// and TimeoutMs are deliberately excluded — a cached runner advances one
+// step per dispatch, so jobs of any length (and any deadline) reuse it.
+type CacheKey struct {
+	Domain              grid.Size
+	Strategy            exec.Strategy
+	Processors          int
+	Placement           grid.PlacementPolicy
+	Variant             decomp.Variant
+	Boundary            stencil.Boundary
+	CoreIslands         bool
+	IORD                int
+	Unlimited           bool
+	BlockI              int
+	DisableFusion       bool
+	DisableHaloExchange bool
+}
+
+// Key returns the schedule-cache key of the normalized spec.
+func (n NormSpec) Key() CacheKey {
+	return CacheKey{
+		Domain:              n.Domain,
+		Strategy:            n.Strategy,
+		Processors:          n.Processors,
+		Placement:           n.Placement,
+		Variant:             n.Variant,
+		Boundary:            n.Boundary,
+		CoreIslands:         n.CoreIslands,
+		IORD:                n.IORD,
+		Unlimited:           n.Unlimited,
+		BlockI:              n.BlockI,
+		DisableFusion:       n.DisableFusion,
+		DisableHaloExchange: n.DisableHaloExchange,
+	}
+}
+
+// ExecConfig builds the executor configuration of the normalized spec with
+// the runner compiled for one step per dispatch (the pool's engines advance
+// jobs step by step, so progress, deadlines and reuse all meet between
+// steps).
+func (n NormSpec) ExecConfig() (exec.Config, error) {
+	m, err := topology.UV2000(n.Processors)
+	if err != nil {
+		return exec.Config{}, err
+	}
+	return exec.Config{
+		Machine:             m,
+		Strategy:            n.Strategy,
+		Placement:           n.Placement,
+		Variant:             n.Variant,
+		Boundary:            n.Boundary,
+		Steps:               1,
+		BlockI:              n.BlockI,
+		CoreIslands:         n.CoreIslands,
+		DisableFusion:       n.DisableFusion,
+		DisableHaloExchange: n.DisableHaloExchange,
+	}, nil
+}

@@ -1,0 +1,84 @@
+#!/bin/sh
+# serve-smoke.sh — end-to-end smoke test of the serving subsystem: start
+# mpdata-serve on a random port, push one small job per strategy through it
+# with mpdata-load, assert the server-side metrics report zero failures, then
+# SIGTERM the server and require a clean drain (exit 0). Usage:
+#
+#   scripts/serve-smoke.sh [jobs]
+#
+# JOBS (argument or env) is the total job count (default 8: two rounds over
+# the four strategies, so the second round must hit the schedule cache).
+set -eu
+cd "$(dirname "$0")/.." || exit 1
+
+jobs=${1:-${JOBS:-8}}
+bindir=$(mktemp -d)
+log="$bindir/serve.log"
+server_pid=""
+
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$bindir"
+}
+trap cleanup EXIT
+
+go build -o "$bindir/mpdata-serve" ./cmd/mpdata-serve
+go build -o "$bindir/mpdata-load" ./cmd/mpdata-load
+
+# Random port: the server prints "listening on http://HOST:PORT (...)".
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 >"$log" 2>&1 &
+server_pid=$!
+
+url=""
+for _ in $(seq 1 50); do
+    url=$(sed -n 's/^mpdata-serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$log" | head -n1)
+    [ -n "$url" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve-smoke: server died on startup:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "serve-smoke: server never reported its listen address" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "serve-smoke: server at $url (pid $server_pid), running $jobs jobs"
+
+# One small job per strategy (round robin over all four), 4 clients.
+"$bindir/mpdata-load" -addr "$url" -jobs "$jobs" -concurrency 4 \
+    -grid 48x32x8 -steps 3 -p 2
+
+# The server's own counters must agree: every submission succeeded.
+metrics=$(curl -fsS "$url/metrics")
+failed=$(echo "$metrics" | awk '$1 == "serve_jobs_failed_total" {print $2}')
+succeeded=$(echo "$metrics" | awk '$1 == "serve_jobs_succeeded_total" {print $2}')
+if [ "$failed" != "0" ]; then
+    echo "serve-smoke: server reports $failed failed jobs" >&2
+    exit 1
+fi
+if [ "$succeeded" != "$jobs" ]; then
+    echo "serve-smoke: server reports $succeeded succeeded jobs, want $jobs" >&2
+    exit 1
+fi
+
+# Graceful drain: SIGTERM must exit 0 and log the clean-drain line.
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+if [ "$rc" != "0" ]; then
+    echo "serve-smoke: server exited $rc after SIGTERM" >&2
+    cat "$log" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$log"; then
+    echo "serve-smoke: no clean-drain log line" >&2
+    cat "$log" >&2
+    exit 1
+fi
+server_pid=""
+echo "serve-smoke: OK ($succeeded jobs, clean drain)"
