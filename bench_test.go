@@ -277,6 +277,86 @@ func BenchmarkComputePlus31D(b *testing.B)     { computeBench(b, exec.Plus31D, f
 func BenchmarkComputeIslands(b *testing.B)     { computeBench(b, exec.IslandsOfCores, false, false) }
 func BenchmarkComputeCoreIslands(b *testing.B) { computeBench(b, exec.IslandsOfCores, true, false) }
 
+// kstepBench is the temporal-blocking ablation: the islands strategies
+// advancing 8 steps per op with k inner steps between global joins. Every
+// arm does identical work per op. Two figures of merit come out of each
+// arm:
+//
+//   - ns/op, the real execution on the host. Goroutine "islands" share one
+//     address space, so a machine-wide join costs the same arrival churn as
+//     an island-local barrier and the sweep mostly exposes the widened
+//     trapezoids' redundant compute — the cost side of the trade.
+//   - modeled-speedup-x, the paper machine's prediction for the same
+//     configuration (UV2000 NUMAlink joins at tens of microseconds),
+//     where amortizing the global join is the whole point. This is the
+//     benefit side, and the number the advisor trades against redundancy.
+//
+// The islands arms run the strong-scaling configuration temporal blocking
+// targets — 14 nodes on a thin-cross-section grid with wide i-parts, where
+// the modeled join is ~20% of a step — while the core-islands arms stay on
+// the compute-bound BenchmarkCompute grid (their sub-islands subdivide j,
+// and 128x64x16 is the feasibility envelope: k=2 fits, k >= 4 skips
+// loudly instead of silently re-measuring k=1).
+func kstepBench(b *testing.B, coreIslands bool, k int) {
+	b.Helper()
+	domain, p := grid.Sz(512, 8, 4), 14
+	if coreIslands {
+		domain, p = grid.Sz(128, 64, 16), 2
+	}
+	const stepsPerOp = 8
+	m, err := topology.UV2000(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := mpdata.NewState(domain)
+	state.SetGaussian(float64(domain.NI)/2, float64(domain.NJ)/2, float64(domain.NK)/2, 4, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	runner, err := exec.NewRunner(exec.Config{
+		Machine: m, Strategy: exec.IslandsOfCores, CoreIslands: coreIslands,
+		Boundary: stencil.Clamp, Steps: stepsPerOp, BlockI: 16, KSteps: k,
+	}, mpdata.NewProgram(), state.InputMap(), mpdata.InPsi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	if st := runner.Schedule().Stats(); st.KSteps != k {
+		b.Skipf("ksteps=%d infeasible at %v: %s", k, domain, st.KStepFallbackReason)
+	}
+	model := func(kk int) float64 {
+		r, err := exec.Model(exec.Config{
+			Machine: m, Strategy: exec.IslandsOfCores, CoreIslands: coreIslands,
+			Placement: grid.FirstTouchParallel, Boundary: stencil.Clamp,
+			Steps: stepsPerOp, KSteps: kk,
+		}, &mpdata.NewProgram().Program, domain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.TotalTime
+	}
+	modeledSpeedup := model(1) / model(k)
+	if err := runner.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(domain.Cells())*stepsPerOp*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+	b.ReportMetric(modeledSpeedup, "modeled-speedup-x")
+}
+
+func BenchmarkComputeIslandsK1(b *testing.B)     { kstepBench(b, false, 1) }
+func BenchmarkComputeIslandsK2(b *testing.B)     { kstepBench(b, false, 2) }
+func BenchmarkComputeIslandsK4(b *testing.B)     { kstepBench(b, false, 4) }
+func BenchmarkComputeIslandsK8(b *testing.B)     { kstepBench(b, false, 8) }
+func BenchmarkComputeCoreIslandsK1(b *testing.B) { kstepBench(b, true, 1) }
+func BenchmarkComputeCoreIslandsK2(b *testing.B) { kstepBench(b, true, 2) }
+func BenchmarkComputeCoreIslandsK4(b *testing.B) { kstepBench(b, true, 4) }
+func BenchmarkComputeCoreIslandsK8(b *testing.B) { kstepBench(b, true, 8) }
+
 // BenchmarkComputeIslandsNoFuse is the stage-fusion ablation: the same
 // islands schedule compiled with one phase per stage (17 barriers per block
 // instead of 7). The gap to BenchmarkComputeIslands is the fusion payoff.

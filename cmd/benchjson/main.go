@@ -34,6 +34,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_op"`
 	BytesPerOp  float64 `json:"b_op"`
 	AllocsPerOp float64 `json:"allocs_op"`
+	// Metrics holds the benchmark's custom b.ReportMetric units
+	// (e.g. "cells/s", "modeled-speedup-x" from the temporal-blocking
+	// k-sweep arms), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is one labelled invocation of the benchmark suite.
@@ -188,6 +192,11 @@ func parseLine(line, match string) (Result, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	return r, seen

@@ -47,6 +47,7 @@ func main() {
 	profile := flag.Bool("profile", false, "run every strategy with the runtime profiler and print per-phase, per-island and measured-vs-model tables")
 	traceOut := flag.String("trace", "", "profile the selected strategy and write a Chrome trace-event JSON timeline to this file (chrome://tracing, Perfetto)")
 	coreIslands := flag.Bool("coreislands", false, "apply islands inside each socket (per-core sub-islands)")
+	ksteps := flag.Int("ksteps", 0, "temporal blocking: islands advance this many steps between global joins (0/1 = off, islands strategy only)")
 	iord := flag.Int("iord", 2, "MPDATA order (number of passes, 1..4)")
 	dump := flag.String("dump", "", "write the final psi field to this file (grid field format)")
 	plan := flag.Bool("plan", false, "print the execution geometry (islands, blocks, redundancy) and exit")
@@ -78,6 +79,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *ksteps < 0 {
+		log.Fatalf("ksteps must be non-negative, got %d", *ksteps)
+	}
+	if *ksteps > 1 {
+		if strategy != islands.IslandsOfCores {
+			log.Fatal("ksteps > 1 requires the islands strategy")
+		}
+		// Reject a k the compiled schedule would silently drop to 1 — the
+		// same exec.CheckKSteps gate (and error text) the serve job spec
+		// applies at submission.
+		m, err := topology.UV2000(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: *iord, NonOscillatory: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exec.CheckKSteps(exec.Config{
+			Machine: m, Strategy: strategy, Placement: placement, Variant: variant,
+			Boundary: islands.Clamp, Steps: *steps, CoreIslands: *coreIslands, KSteps: *ksteps,
+		}, &kp.Program, domain); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	cfg := islands.Config{
 		Processors:  *p,
@@ -87,6 +113,7 @@ func main() {
 		Boundary:    islands.Clamp,
 		Steps:       *steps,
 		CoreIslands: *coreIslands,
+		KSteps:      *ksteps,
 		IORD:        *iord,
 	}
 
@@ -143,7 +170,8 @@ func main() {
 		prog := &kp.Program
 		out, err := exec.DescribePlan(exec.Config{
 			Machine: m, Strategy: strategy, Placement: placement,
-			Variant: variant, Steps: *steps, CoreIslands: *coreIslands,
+			Variant: variant, Boundary: islands.Clamp, Steps: *steps,
+			CoreIslands: *coreIslands, KSteps: *ksteps,
 		}, prog, domain)
 		if err != nil {
 			log.Fatal(err)
@@ -204,6 +232,7 @@ func main() {
 		ec := exec.Config{
 			Machine: m, Strategy: strategy, Placement: placement,
 			Variant: variant, Steps: *steps, CoreIslands: *coreIslands,
+			KSteps: *ksteps,
 		}
 		if *counters {
 			r, err := exec.Model(ec, prog, domain)
@@ -251,6 +280,9 @@ func runScheduleReport(domain islands.Size, cfg islands.Config) error {
 			Machine: m, Strategy: c.strategy, Placement: cfg.Placement,
 			Variant: cfg.Variant, Boundary: islands.Clamp, Steps: cfg.Steps,
 			CoreIslands: c.coreIslands,
+		}
+		if c.strategy == islands.IslandsOfCores {
+			ec.KSteps = cfg.KSteps
 		}
 		state := mpdata.NewState(domain)
 		runner, err := exec.NewRunner(ec, kp, state.InputMap(), mpdata.InPsi)
@@ -301,6 +333,9 @@ func runProfiled(domain islands.Size, cfg islands.Config, report bool, tracePath
 			Machine: m, Strategy: c.strategy, Placement: cfg.Placement,
 			Variant: cfg.Variant, Boundary: islands.Clamp, Steps: cfg.Steps,
 			CoreIslands: c.coreIslands,
+		}
+		if c.strategy == islands.IslandsOfCores {
+			ec.KSteps = cfg.KSteps
 		}
 		state := mpdata.NewState(domain)
 		ci, cj, ck := float64(domain.NI)/2, float64(domain.NJ)/2, float64(domain.NK)/2

@@ -35,13 +35,16 @@ func (c *Candidate) Time() float64 { return c.Result.TotalTime }
 // Rationale describes the candidate's cost structure in one line.
 func (c *Candidate) Rationale() string {
 	r := c.Result
-	switch c.Config.Strategy {
-	case exec.Original:
+	switch {
+	case c.Config.Strategy == exec.Original:
 		return fmt.Sprintf("memory-bound: %.1f GB of main-memory traffic, %.1f GB over NUMAlink",
 			r.MemTrafficBytes/1e9, r.RemoteTrafficBytes/1e9)
-	case exec.Plus31D:
+	case c.Config.Strategy == exec.Plus31D:
 		return fmt.Sprintf("cache-blocked but machine-wide: per-stage sync and remote halo pulls dominate (%.1f GB NUMAlink)",
 			r.RemoteTrafficBytes/1e9)
+	case c.Config.KSteps > 1:
+		return fmt.Sprintf("temporally blocked islands: barriers amortized over %d-step blocks for %.2f%% redundant elements, %.1f GB NUMAlink",
+			c.Config.KSteps, r.ExtraElementsPct, r.RemoteTrafficBytes/1e9)
 	default:
 		return fmt.Sprintf("independent islands: %.2f%% redundant elements, %.1f GB NUMAlink",
 			r.ExtraElementsPct, r.RemoteTrafficBytes/1e9)
@@ -74,15 +77,44 @@ func Advise(m *topology.Machine, prog *stencil.Program, domain grid.Size, steps 
 		return nil, err
 	}
 
+	// addK prices the temporally blocked variants of an islands candidate.
+	// The k-step plan is checked for feasibility first — an infeasible k
+	// silently runs (and would price) as k=1, which would only clutter the
+	// ranking with duplicates. k candidates are priced under the clamp
+	// boundary: a periodic wrap across island ownership always falls back.
+	addK := func(base string, cfg exec.Config) error {
+		for _, k := range []int{2, 4, 8} {
+			kcfg := cfg
+			kcfg.KSteps = k
+			kcfg.Boundary = stencil.Clamp
+			kcfg.Machine = m
+			kcfg.Placement = grid.FirstTouchParallel
+			kcfg.Steps = steps
+			if exec.CheckKSteps(kcfg, prog, domain) != nil {
+				continue
+			}
+			if err := add(fmt.Sprintf("%s k=%d", base, k), kcfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	p := m.NumNodes()
 	if p == 1 {
 		if err := add("islands", exec.Config{Strategy: exec.IslandsOfCores}); err != nil {
+			return nil, err
+		}
+		if err := addK("islands", exec.Config{Strategy: exec.IslandsOfCores}); err != nil {
 			return nil, err
 		}
 	} else {
 		// 1D mappings; skip a variant whose dimension cannot host p parts.
 		if domain.NI >= p {
 			if err := add("islands 1D-A", exec.Config{Strategy: exec.IslandsOfCores, Variant: decomp.VariantA}); err != nil {
+				return nil, err
+			}
+			if err := addK("islands 1D-A", exec.Config{Strategy: exec.IslandsOfCores, Variant: decomp.VariantA}); err != nil {
 				return nil, err
 			}
 		}
@@ -113,6 +145,11 @@ func Advise(m *topology.Machine, prog *stencil.Program, domain grid.Size, steps 
 		}); err != nil {
 			return nil, err
 		}
+		if err := addK("islands + core sub-islands", exec.Config{
+			Strategy: exec.IslandsOfCores, Variant: decomp.VariantA, CoreIslands: true,
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time() < out[j].Time() })
@@ -125,6 +162,9 @@ func Report(cands []Candidate) string {
 		return "no feasible configuration\n"
 	}
 	s := fmt.Sprintf("recommended: %s (%.3f s)\n", cands[0].Name, cands[0].Time())
+	if k := cands[0].Config.KSteps; k > 1 {
+		s += fmt.Sprintf("  temporal blocking pays here: set KSteps=%d — one global join per %d steps buys back its redundant compute\n", k, k)
+	}
 	for i := range cands {
 		c := &cands[i]
 		s += fmt.Sprintf("  %2d. %-26s %9.3f s  %5.1fx  %s\n",

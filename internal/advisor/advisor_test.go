@@ -95,6 +95,33 @@ func TestReportFormat(t *testing.T) {
 	}
 }
 
+func TestAdvisePricesTemporalBlocking(t *testing.T) {
+	cands := advise(t, 4, grid.Sz(256, 128, 16))
+	names := map[string]*Candidate{}
+	for i := range cands {
+		names[cands[i].Name] = &cands[i]
+	}
+	for _, want := range []string{"islands 1D-A k=2", "islands 1D-A k=4", "islands 1D-A k=8"} {
+		c, ok := names[want]
+		if !ok {
+			t.Errorf("missing temporally blocked candidate %q", want)
+			continue
+		}
+		if !strings.Contains(c.Rationale(), "amortized") || !strings.Contains(c.Rationale(), "redundant") {
+			t.Errorf("%s rationale misses the trade-off: %s", want, c.Rationale())
+		}
+	}
+	// An infeasible k must be skipped, not priced as a silent k=1 twin:
+	// 4 islands on NI=16 leave 4-wide parts, narrower than the 12-cell
+	// halo of k=4.
+	thin := advise(t, 4, grid.Sz(16, 128, 16))
+	for i := range thin {
+		if thin[i].Name == "islands 1D-A k=4" || thin[i].Name == "islands 1D-A k=8" {
+			t.Errorf("infeasible candidate %q priced", thin[i].Name)
+		}
+	}
+}
+
 func TestRationaleMentionsCostStructure(t *testing.T) {
 	cands := advise(t, 4, grid.Sz(256, 128, 16))
 	for i := range cands {

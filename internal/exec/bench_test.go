@@ -34,7 +34,7 @@ func BenchmarkScheduleBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := compileSchedule(r.plan, prog, r.sch.Teams, r.envs, r.workerEnvs, out, r.halo, "")
+		s, err := compileSchedule(r.plan, prog, r.sch.Teams, r.envs, r.workerEnvs, out, mpdata.InPsi, r.halo, "")
 		if err != nil {
 			b.Fatal(err)
 		}

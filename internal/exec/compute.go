@@ -39,13 +39,20 @@ type Runner struct {
 	workerEnvs [][]*stencil.Env
 	// schedule is the compiled one-step program; stepFns are the per-team
 	// worker closures dispatched every step (built once, so the dispatch
-	// allocates nothing).
+	// allocates nothing). With temporal blocking one dispatch advances
+	// schedule.KSteps() steps; remFns dispatches the remainder sub-block
+	// (nil when the step count divides evenly).
 	schedule *Schedule
 	stepFns  []func(worker int)
+	remFns   []func(worker int)
 	// OnStepEnd, when set, is invoked after every completed time step
 	// (outside any parallel region, with all outputs published). Hooks
 	// may mutate the step inputs — e.g. update time-dependent velocity
-	// fields — or record diagnostics.
+	// fields — or record diagnostics. Under temporal blocking the hook
+	// fires once per k-block, with the index of the block's last completed
+	// step — inner steps are uninterruptible by construction (that is the
+	// point of the block), so per-step hooks and KSteps > 1 are mutually
+	// exclusive semantics the driver must choose between.
 	OnStepEnd func(step int)
 	// halo is the swap+halo exchange geometry (nil outside that mode);
 	// haloEnvs flattens the private environments in the geometry's order,
@@ -77,6 +84,15 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 	if err != nil {
 		return nil, err
 	}
+	if p.ksteps > 1 && feedback != p.prog.Feedback {
+		// The plan's k-step geometry was built for the program's declared
+		// feedback input; running with a different one falls back loudly.
+		p.kstepReason = fmt.Sprintf("feedback input %q differs from the program's declared feedback %q",
+			feedback, p.prog.Feedback)
+		p.ksteps = 1
+		p.khalo = nil
+		p.spansK = p.spansK[:1]
+	}
 	r := &Runner{
 		plan:     p,
 		prog:     prog,
@@ -93,9 +109,15 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 	var halo *haloGeom
 	var haloReason string
 	if cfg.Strategy == IslandsOfCores {
-		if cfg.DisableHaloExchange {
+		switch {
+		case cfg.DisableHaloExchange:
 			haloReason = "disabled by Config.DisableHaloExchange"
-		} else {
+		case p.ksteps > 1:
+			// k-step execution always runs in swap+halo mode, with the
+			// strips and re-import boxes widened to the k-step extent
+			// (planKSteps falls back to ksteps=1 when that is infeasible).
+			halo = p.khalo
+		default:
 			halo, haloReason = haloGeometry(islandOwned(p), p.analysis.InputExtents[feedback], p.domain, cfg.Boundary)
 		}
 	}
@@ -146,7 +168,7 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 			r.swapPairs = append(r.swapPairs, [2]*grid.Field{env.Field(feedback), env.Field(prog.Output)})
 		}
 	}
-	r.schedule, err = compileSchedule(p, prog, r.sch.Teams, r.envs, r.workerEnvs, fb, halo, haloReason)
+	r.schedule, err = compileSchedule(p, prog, r.sch.Teams, r.envs, r.workerEnvs, fb, feedback, halo, haloReason)
 	if err != nil {
 		r.Close()
 		return nil, err
@@ -156,6 +178,14 @@ func NewRunner(cfg Config, prog *stencil.KernelProgram, inputs map[string]*grid.
 		t := t
 		items := r.schedule.items[t]
 		r.stepFns[t] = func(w int) { r.runWorker(t, w, items[w]) }
+	}
+	if r.schedule.remainder != nil {
+		r.remFns = make([]func(worker int), len(r.sch.Teams))
+		for t := range r.sch.Teams {
+			t := t
+			items := r.schedule.remainder[t]
+			r.remFns[t] = func(w int) { r.runWorker(t, w, items[w]) }
+		}
 	}
 	return r, nil
 }
@@ -240,12 +270,22 @@ func (r *Runner) Run() (err error) {
 			err = r.err
 		}
 	}()
-	for step := 0; step < r.plan.cfg.Steps; step++ {
+	// One loop iteration dispatches one compiled program walk: a single time
+	// step without temporal blocking, a k-block of schedule.ksteps steps
+	// with it (plus the compiled remainder sub-block when the step count
+	// does not divide evenly). The feedback publication below runs once per
+	// walk — the inner steps of a block swap island-locally inside the
+	// schedule itself.
+	for done := 0; done < r.plan.cfg.Steps; {
+		fns, n := r.stepFns, r.schedule.ksteps
+		if left := r.plan.cfg.Steps - done; left < n {
+			fns, n = r.remFns, left
+		}
 		var t0 time.Time
 		if r.prof != nil {
 			t0 = time.Now()
 		}
-		r.sch.RunFns(r.stepFns)
+		r.sch.RunFns(fns)
 		switch r.schedule.mode {
 		case FeedbackSwap:
 			grid.SwapData(r.inputs[r.feedback], r.envs[0].Field(r.prog.Output))
@@ -259,13 +299,14 @@ func (r *Runner) Run() (err error) {
 			}
 			r.fbStale = true
 		}
+		done += n
 		if p := r.prof; p != nil {
-			p.steps++
+			p.steps += n
 			p.wall += time.Since(t0)
 		}
 		if r.OnStepEnd != nil {
 			r.SyncFeedback()
-			r.OnStepEnd(step)
+			r.OnStepEnd(done - 1)
 			r.ReloadFeedback()
 		}
 	}

@@ -30,24 +30,34 @@ func DescribePlan(cfg Config, prog *stencil.Program, domain grid.Size) (string, 
 			len(blocks), blocks[0].I1-blocks[0].I0, cfg.Machine.TotalCores(), len(prog.Stages), groups, groups*len(blocks))
 	case IslandsOfCores:
 		fmt.Fprintf(&b, "  %d stages in %d fused phases per block\n", len(prog.Stages), groups)
-		totalExtra := int64(0)
+		if p.ksteps > 1 {
+			fmt.Fprintf(&b, "  temporal blocking: %d inner steps per global join (k-step halo %v)\n",
+				p.ksteps, p.fext.Scale(p.ksteps))
+		} else if p.kstepReason != "" {
+			fmt.Fprintf(&b, "  temporal blocking: requested ksteps=%d fell back to 1 (%s)\n",
+				cfg.KSteps, p.kstepReason)
+		}
+		totalExtra := 0.0
 		for i, part := range p.parts {
-			var extra int64
+			var extra float64
 			for s := range prog.Stages {
-				cells := p.islandCells(i, s)
+				cells := p.islandCellsAvg(i, s)
 				if cfg.CoreIslands {
-					cells = p.coreIslandCells(i, s, cfg.Machine.Nodes[i].Cores)
+					cells = p.coreIslandCellsAvg(i, s, cfg.Machine.Nodes[i].Cores)
 				}
-				extra += cells - int64(part.Cells())
+				extra += cells - float64(part.Cells())
 			}
 			totalExtra += extra
-			fmt.Fprintf(&b, "  island %2d on node %2d: part %v, %d blocks, %d redundant cells/step\n",
+			fmt.Fprintf(&b, "  island %2d on node %2d: part %v, %d blocks, %.0f redundant cells/step\n",
 				i, cfg.nodeOf(i), part, len(p.blocks[i]), extra)
 		}
-		pct := 100 * float64(totalExtra) / (float64(len(prog.Stages)) * float64(domain.Cells()))
+		pct := 100 * totalExtra / (float64(len(prog.Stages)) * float64(domain.Cells()))
 		fmt.Fprintf(&b, "  total redundancy: %.2f%% of baseline stage cells", pct)
 		if cfg.CoreIslands {
 			fmt.Fprintf(&b, " (including per-core sub-island trapezoids)")
+		}
+		if p.ksteps > 1 {
+			fmt.Fprintf(&b, " (averaged over %d inner steps)", p.ksteps)
 		}
 		b.WriteByte('\n')
 	}
@@ -63,29 +73,55 @@ func (r *Runner) DescribeSchedule() string {
 	var b strings.Builder
 	st := r.schedule.Stats()
 	fmt.Fprintf(&b, "compiled schedule: %v, %d teams\n", r.plan.cfg.Strategy, len(r.sch.Teams))
+	walk := "step"
+	if st.KSteps > 1 {
+		walk = fmt.Sprintf("%d-step block", st.KSteps)
+	}
 	for t, team := range r.sch.Teams {
-		kernels, copies, waits := 0, 0, 0
-		for _, items := range r.schedule.items[t] {
+		kernels, copies, swaps, waits := 0, 0, 0, 0
+		for w, items := range r.schedule.items[t] {
 			for i := range items {
 				switch items[i].kind {
 				case kernelItem:
 					kernels++
 				case copyItem:
 					copies++
+				case swapItem:
+					// One fused swap-barrier crossing = one swap per
+					// team; unsynchronized core-level swaps are one per
+					// worker (see ScheduleStats.SwapItems).
+					if items[i].bar == nil || w == 0 {
+						swaps++
+					}
 				case barrierItem:
 					waits++
 				}
 			}
 		}
-		fmt.Fprintf(&b, "  team %2d (%d workers): %d kernel items, %d copy items, %d barrier waits per step\n",
-			team.ID, team.Size(), kernels, copies, waits)
+		fmt.Fprintf(&b, "  team %2d (%d workers): %d kernel items, %d copy items, %d barrier waits per %s",
+			team.ID, team.Size(), kernels, copies, waits, walk)
+		if swaps > 0 {
+			fmt.Fprintf(&b, " (%d inner swaps)", swaps)
+		}
+		b.WriteByte('\n')
+	}
+	if st.KSteps > 1 {
+		fmt.Fprintf(&b, "  temporal block: %d inner steps between global joins, widened halo %d bytes per join",
+			st.KSteps, st.HaloBytes)
+		if st.RemainderSteps > 0 {
+			fmt.Fprintf(&b, ", %d-step remainder block", st.RemainderSteps)
+		}
+		b.WriteByte('\n')
+	} else if st.KStepFallbackReason != "" {
+		fmt.Fprintf(&b, "  temporal block: requested ksteps=%d fell back to 1 — %s\n",
+			r.plan.cfg.KSteps, st.KStepFallbackReason)
 	}
 	fmt.Fprintf(&b, "  phases: %s\n", strings.Join(r.schedule.PhaseLabels(), " | "))
 	fmt.Fprintf(&b, "  feedback mode: %s", st.Feedback)
 	switch {
 	case st.Feedback == FeedbackSwapHalo:
-		fmt.Fprintf(&b, " — %d halo strips, %d bytes exchanged per step (%.1f%% of the feedback grid)",
-			st.HaloStrips, st.HaloBytes,
+		fmt.Fprintf(&b, " — %d halo strips, %d bytes exchanged per %s (%.1f%% of the feedback grid)",
+			st.HaloStrips, st.HaloBytes, walk,
 			100*float64(st.HaloBytes)/(float64(r.plan.domain.Cells())*grid.CellBytes))
 	case st.FallbackReason != "":
 		fmt.Fprintf(&b, " — halo fallback: %s", st.FallbackReason)

@@ -93,6 +93,22 @@ type Config struct {
 	// synchronization within each block. Only meaningful with
 	// IslandsOfCores.
 	CoreIslands bool
+	// KSteps enables temporal blocking for the island strategies: every
+	// island advances KSteps full time steps on its private buffers
+	// between global joins. Within such a k-block the per-phase barriers
+	// stay island-local, the redundant trapezoids widen by one step extent
+	// per remaining inner step (the classic time-skewed trapezoid, earliest
+	// step widest), and the halo-strip exchange plus feedback swap happen
+	// once per block instead of once per step. 0 or 1 means today's
+	// step-at-a-time execution. KSteps > 1 requires the islands-of-cores
+	// strategy and a program with a declared Feedback input; when the
+	// partition cannot carry the k-step halo (parts narrower than
+	// fext.Scale(k), Config.DisableHaloExchange, or periodic wrap reads
+	// that would cross island ownership mid-block) the runner falls back
+	// loudly to k=1 and records the reason (ScheduleStats.
+	// KStepFallbackReason). Results are bit-identical to k=1 execution for
+	// every k.
+	KSteps int
 	// ModelParams overrides the machine-model constants for sensitivity
 	// studies (nil = the calibrated defaults of params.go).
 	ModelParams *Params
@@ -137,6 +153,12 @@ func (c *Config) Validate() error {
 	if c.CoreIslands && c.Strategy != IslandsOfCores {
 		return fmt.Errorf("exec: CoreIslands requires the islands-of-cores strategy")
 	}
+	if c.KSteps < 0 {
+		return fmt.Errorf("exec: KSteps must be non-negative, got %d", c.KSteps)
+	}
+	if c.KSteps > 1 && c.Strategy != IslandsOfCores {
+		return fmt.Errorf("exec: KSteps > 1 requires the islands-of-cores strategy")
+	}
 	if c.NodeOrder != nil {
 		if c.Strategy != IslandsOfCores {
 			return fmt.Errorf("exec: NodeOrder requires the islands-of-cores strategy")
@@ -151,6 +173,26 @@ func (c *Config) Validate() error {
 			}
 			seen[n] = true
 		}
+	}
+	return nil
+}
+
+// CheckKSteps reports whether a requested temporal-blocking factor would
+// actually be honored for the given program and domain, returning an error
+// carrying the fallback reason when it would silently drop to k=1. The CLI
+// and the serving job validation share this check (and its error text), so a
+// k that cannot run as k anywhere is rejected up front instead of surfacing
+// only in ScheduleStats.KStepFallbackReason.
+func CheckKSteps(cfg Config, prog *stencil.Program, domain grid.Size) error {
+	if cfg.KSteps <= 1 {
+		return nil
+	}
+	p, err := newPlan(cfg, prog, domain)
+	if err != nil {
+		return err
+	}
+	if p.ksteps != cfg.KSteps {
+		return fmt.Errorf("exec: ksteps=%d falls back to 1: %s", cfg.KSteps, p.kstepReason)
 	}
 	return nil
 }
@@ -171,6 +213,27 @@ type plan struct {
 	// spans[i][s][b] is the region of stage s computed in block b of
 	// island i.
 	spans [][][]grid.Region
+	// ksteps is the effective temporal-blocking factor: 1 unless
+	// Config.KSteps > 1 was requested and is feasible, in which case the
+	// requested value. kstepReason records why a requested factor fell back
+	// to 1 — the loud half of the fallback rule, surfaced through
+	// ScheduleStats.KStepFallbackReason.
+	ksteps      int
+	kstepReason string
+	// fext is the feedback input's one-step extent (ksteps > 1 only): the
+	// per-inner-step growth of the time-skewed trapezoids.
+	fext stencil.Extent
+	// khalo is the halo-strip exchange geometry widened to the k-step
+	// extent fext.Scale(ksteps) (ksteps > 1 only; k-step execution always
+	// runs in swap+halo mode).
+	khalo *haloGeom
+	// spansK[d][i][s][b] is the region of stage s computed in block b of
+	// island i for the inner step at distance d from the block's final step
+	// (d = 0 is the final inner step; spansK[0] aliases spans, so k=1
+	// geometry is bit-identical to the unblocked plan). Earlier inner steps
+	// target the part grown by fext.Scale(d), tiled over the island's same
+	// fixed cache blocks.
+	spansK [][][][]grid.Region
 	// fuse groups consecutive dependency-independent stages into the
 	// phases the compiled compute schedule executes (one sweep, one
 	// barrier per group). With Config.DisableFusion it degenerates to one
@@ -252,7 +315,89 @@ func newPlan(cfg Config, prog *stencil.Program, domain grid.Size) (*plan, error)
 			p.spans[i][s] = decomp.WavefrontSpans(stageRegion, p.blocks[i], ihi)
 		}
 	}
+	p.planKSteps()
 	return p, nil
+}
+
+// planKSteps decides the effective temporal-blocking factor and builds the
+// per-inner-step span geometry. A requested Config.KSteps > 1 needs every
+// inner step's reads to resolve inside the islands' private k-step buffers:
+// the swap+halo geometry must be feasible for the k-step extent, and under a
+// periodic boundary every island must span each wrapped dimension the
+// feedback stencil reaches across — a wrapped read inside a k-block would
+// otherwise alias cells another island computed, which the block-local swap
+// cannot reproduce. Any violation falls back to k=1 with a recorded reason.
+func (p *plan) planKSteps() {
+	p.ksteps = 1
+	p.spansK = [][][][]grid.Region{p.spans}
+	k := p.cfg.KSteps
+	if k <= 1 || p.cfg.Strategy != IslandsOfCores {
+		return
+	}
+	fb := p.prog.Feedback
+	if fb == "" {
+		p.kstepReason = fmt.Sprintf("program %q declares no feedback input", p.prog.Name)
+		return
+	}
+	if p.cfg.DisableHaloExchange {
+		p.kstepReason = "disabled by Config.DisableHaloExchange"
+		return
+	}
+	fext := p.analysis.InputExtents[fb]
+	owned := islandOwned(p)
+	if p.cfg.Boundary == stencil.Periodic && !fext.IsZero() {
+		dims := [3]int{p.domain.NI, p.domain.NJ, p.domain.NK}
+		lo := [3]int{fext.ILo, fext.JLo, fext.KLo}
+		hi := [3]int{fext.IHi, fext.JHi, fext.KHi}
+		names := [3]string{"i", "j", "k"}
+		for _, r := range owned {
+			if r.Empty() {
+				continue
+			}
+			w := [3]int{r.I1 - r.I0, r.J1 - r.J0, r.K1 - r.K0}
+			for d := 0; d < 3; d++ {
+				if (lo[d] > 0 || hi[d] > 0) && w[d] < dims[d] {
+					p.kstepReason = fmt.Sprintf(
+						"periodic wrap along %s crosses island ownership mid-block (part %v does not span the domain)",
+						names[d], r)
+					return
+				}
+			}
+		}
+	}
+	halo, reason := haloGeometry(owned, fext.Scale(k), p.domain, p.cfg.Boundary)
+	if halo == nil {
+		p.kstepReason = reason
+		return
+	}
+	p.ksteps, p.fext, p.khalo = k, fext, halo
+	for d := 1; d < k; d++ {
+		sp := make([][][]grid.Region, len(p.parts))
+		for i, part := range p.parts {
+			target := p.targetAt(d, part)
+			sp[i] = make([][]grid.Region, len(p.prog.Stages))
+			for s := range p.prog.Stages {
+				stageRegion := p.analysis.StageRegion(s, target, p.domain)
+				ihi := p.analysis.StageExtents[s].IHi
+				sp[i][s] = decomp.WavefrontSpans(stageRegion, p.blocks[i], ihi)
+			}
+		}
+		p.spansK = append(p.spansK, sp)
+	}
+}
+
+// targetAt returns the output region of the inner step at distance d from a
+// k-block's final step, for an island (or sub-island) owning out: the owned
+// region grown by d feedback extents, clamped to the domain. Soundness of
+// the whole block follows from extent composition: the step at distance d+1
+// covers the feedback reads of the step at distance d, face by face, and
+// clamping resolves out-of-domain reads to in-domain boundary cells inside
+// the clamped region.
+func (p *plan) targetAt(d int, out grid.Region) grid.Region {
+	if d == 0 {
+		return out
+	}
+	return p.fext.Scale(d).Apply(out).Clamp(p.domain)
 }
 
 // stageChunks returns the per-worker chunks of stage s's span in block b of
@@ -266,11 +411,28 @@ func (p *plan) stageChunks(island, s, b, dim, n int) []grid.Region {
 // islandCells returns the total cells island i computes for stage s
 // (including redundant trapezoids).
 func (p *plan) islandCells(i, s int) int64 {
+	return p.islandCellsAt(0, i, s)
+}
+
+// islandCellsAt is islandCells for the inner step at distance d from a
+// k-block's final step (d = 0 is the plain one-step geometry).
+func (p *plan) islandCellsAt(d, i, s int) int64 {
 	var c int64
-	for _, r := range p.spans[i][s] {
+	for _, r := range p.spansK[d][i][s] {
 		c += int64(r.Cells())
 	}
 	return c
+}
+
+// islandCellsAvg returns island i's per-step cell count for stage s averaged
+// over the inner steps of a temporal block (equal to islandCells at k=1) —
+// the per-step redundancy the model prices under temporal blocking.
+func (p *plan) islandCellsAvg(i, s int) float64 {
+	var c int64
+	for d := 0; d < p.ksteps; d++ {
+		c += p.islandCellsAt(d, i, s)
+	}
+	return float64(c) / float64(p.ksteps)
 }
 
 // workerRegion restricts a stage span of island i to the j-trapezoid of one
@@ -278,14 +440,23 @@ func (p *plan) islandCells(i, s int) int64 {
 // s on the span's i/k ranges but only on sub grown by the stage's j-extent
 // (clamped into the span) — the core-level islands of the paper's §6.
 func (p *plan) workerRegion(i, s, b int, sub grid.Region) grid.Region {
-	span := p.spans[i][s][b]
+	return p.workerRegionAt(0, i, s, b, sub)
+}
+
+// workerRegionAt is workerRegion for the inner step at distance d from a
+// k-block's final step: the sub-island's own output target is sub grown by d
+// feedback extents, and the stage span comes from the same inner step's
+// island geometry.
+func (p *plan) workerRegionAt(d, i, s, b int, sub grid.Region) grid.Region {
+	span := p.spansK[d][i][s][b]
 	if span.Empty() || sub.Empty() {
 		return grid.Region{}
 	}
+	target := p.targetAt(d, sub)
 	ext := p.analysis.StageExtents[s]
 	out := span
-	out.J0 = max(span.J0, sub.J0-ext.JLo)
-	out.J1 = min(span.J1, sub.J1+ext.JHi)
+	out.J0 = max(span.J0, target.J0-ext.JLo)
+	out.J1 = min(span.J1, target.J1+ext.JHi)
 	if out.Empty() {
 		return grid.Region{}
 	}
@@ -295,14 +466,29 @@ func (p *plan) workerRegion(i, s, b int, sub grid.Region) grid.Region {
 // coreIslandCells returns the total cells island i computes for stage s when
 // its part is further split into n core-level sub-islands along j.
 func (p *plan) coreIslandCells(i, s, n int) int64 {
+	return p.coreIslandCellsAt(0, i, s, n)
+}
+
+// coreIslandCellsAt is coreIslandCells for the inner step at distance d.
+func (p *plan) coreIslandCellsAt(d, i, s, n int) int64 {
 	subs := decomp.SplitDim(p.parts[i], 1, n)
 	var c int64
-	for b := range p.spans[i][s] {
+	for b := range p.spansK[d][i][s] {
 		for _, sub := range subs {
-			c += int64(p.workerRegion(i, s, b, sub).Cells())
+			c += int64(p.workerRegionAt(d, i, s, b, sub).Cells())
 		}
 	}
 	return c
+}
+
+// coreIslandCellsAvg averages coreIslandCellsAt over a temporal block's
+// inner steps (equal to coreIslandCells at k=1).
+func (p *plan) coreIslandCellsAvg(i, s, n int) float64 {
+	var c int64
+	for d := 0; d < p.ksteps; d++ {
+		c += p.coreIslandCellsAt(d, i, s, n)
+	}
+	return float64(c) / float64(p.ksteps)
 }
 
 // UsefulFlopsPerStep returns the baseline flop count of one step (each stage

@@ -95,9 +95,14 @@ func haloGeometry(owned []grid.Region, ext stencil.Extent, domain grid.Size, bc 
 	lo := [3]int{ext.ILo, ext.JLo, ext.KLo}
 	hi := [3]int{ext.IHi, ext.JHi, ext.KHi}
 	names := [3]string{"i", "j", "k"}
-	for d := 0; d < 3; d++ {
-		if lo[d] > dims[d] || hi[d] > dims[d] {
-			return nil, fmt.Sprintf("step halo %v exceeds the %s-extent of domain %v", ext, names[d], domain)
+	if bc == stencil.Periodic {
+		// A periodic halo wider than the domain would wrap around more than
+		// once, which dimSegments cannot represent. Under Clamp the shell
+		// just saturates at the boundary, so any extent is representable.
+		for d := 0; d < 3; d++ {
+			if lo[d] > dims[d] || hi[d] > dims[d] {
+				return nil, fmt.Sprintf("step halo %v exceeds the %s-extent of domain %v", ext, names[d], domain)
+			}
 		}
 	}
 	for _, r := range owned {

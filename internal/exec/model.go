@@ -266,15 +266,17 @@ func model(cfg Config, prog *stencil.Program, domain grid.Size, trace bool) (*Mo
 	// Redundancy accounting (exact, from the halo analysis): the spans
 	// tile each island's stage regions, so cells beyond the island's own
 	// part are the trapezoid recomputation. With core-level sub-islands,
-	// the per-worker j-trapezoids add another exact layer.
+	// the per-worker j-trapezoids add another exact layer; with temporal
+	// blocking the per-step count averages the widening trapezoids over a
+	// k-block's inner steps (equal to the plain count at k=1).
 	var redundantFlops, redundantCells float64
 	for i := range p.parts {
 		for s := range prog.Stages {
-			cells := p.islandCells(i, s)
+			cells := p.islandCellsAvg(i, s)
 			if cfg.CoreIslands {
-				cells = p.coreIslandCells(i, s, cfg.Machine.Nodes[i].Cores)
+				cells = p.coreIslandCellsAvg(i, s, cfg.Machine.Nodes[i].Cores)
 			}
-			extra := float64(cells - int64(p.parts[i].Cells()))
+			extra := cells - float64(p.parts[i].Cells())
 			redundantCells += extra
 			redundantFlops += extra * float64(prog.Stages[s].Flops)
 		}
@@ -587,12 +589,14 @@ func modelBlocked(p *plan, res *ModelResult) error {
 					// Average stage cells per block for this island
 					// (includes the trapezoid redundancy spread over
 					// blocks; with core-level sub-islands, also the
-					// per-worker j-trapezoids).
-					islCells := p.islandCells(isl.id, s)
+					// per-worker j-trapezoids; with temporal blocking,
+					// averaged over a k-block's inner steps so the
+					// representative block prices the mean inner step).
+					islCells := p.islandCellsAvg(isl.id, s)
 					if cfg.CoreIslands {
-						islCells = p.coreIslandCells(isl.id, s, ncores)
+						islCells = p.coreIslandCellsAvg(isl.id, s, ncores)
 					}
-					chunkCells := float64(islCells) / float64(isl.nblocks) / float64(ncores)
+					chunkCells := islCells / float64(isl.nblocks) / float64(ncores)
 					item := simmach.Item{Tag: fmt.Sprintf("isl%d.stage%d", isl.id, s)}
 					item.Flows = append(item.Flows, simmach.Flow{
 						Demand:    chunkCells * float64(st.Flops),
@@ -635,7 +639,29 @@ func modelBlocked(p *plan, res *ModelResult) error {
 			stepTime = t
 		}
 	}
-	stepTime += mm.barrierCost(allNodes(nodes), m.TotalCores())
+	if p.ksteps > 1 {
+		// Temporal blocking: the machine-wide join is paid once per
+		// k-block, and each of the k-1 inner-step transitions costs one
+		// island-local barrier crossing — the private feedback swap rides
+		// the release of the end-of-step team barrier (Barrier.WaitDo), so
+		// there is no second crossing (and none at all for core-level
+		// sub-islands, which swap unsynchronized). The per-step
+		// synchronization cost is the per-block cost over k — the barrier
+		// saving the advisor trades against the widened trapezoids'
+		// redundant compute priced above.
+		var swapBar float64
+		if !cfg.CoreIslands {
+			for _, isl := range islands {
+				if b := mm.barrierCost(isl.nodeSet, len(isl.cores)); b > swapBar {
+					swapBar = b
+				}
+			}
+		}
+		k := float64(p.ksteps)
+		stepTime += (mm.barrierCost(allNodes(nodes), m.TotalCores()) + (k-1)*swapBar) / k
+	} else {
+		stepTime += mm.barrierCost(allNodes(nodes), m.TotalCores())
+	}
 	res.StepTime = stepTime
 
 	res.MemTrafficBytes = blockedSweeps * domainBytes(p.domain) * float64(cfg.Steps)

@@ -196,9 +196,15 @@ func runItemsProfiled(items []schedItem, wp *workerProf, trace bool, epoch time.
 			grid.CopyRegion(it.dst, it.src, it.reg)
 		case barrierItem:
 			spin, park = it.bar.WaitProfiled()
+		case swapItem:
+			if it.bar != nil {
+				spin, park = it.bar.WaitDoProfiled(it.do)
+			} else {
+				grid.SwapData(it.dst, it.src)
+			}
 		}
 		end := time.Now()
-		if it.kind == barrierItem {
+		if it.kind == barrierItem || (it.kind == swapItem && it.bar != nil) {
 			// Account the measured wait; the residual (arrival
 			// bookkeeping, wakeup latency) is charged to the same
 			// phase's spin bucket so phase totals still tile the
@@ -269,6 +275,8 @@ func (r *Runner) WriteTrace(w io.Writer) error {
 					cat = "copy"
 				case barrierItem:
 					cat = "barrier"
+				case swapItem:
+					cat = "swap"
 				}
 				if ev.kind == barrierItem {
 					if err := emit(`{"name":"wait:%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"spin_us":%.3f}}`,

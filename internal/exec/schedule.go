@@ -43,6 +43,14 @@ const (
 	// barrierItem waits at a phase barrier — the per-stage team join or
 	// the end-of-compute global join.
 	barrierItem
+	// swapItem swaps the data buffers of two fields in place
+	// (grid.SwapData) — the island-local feedback/output exchange between
+	// the inner steps of a temporal block. Island-level schedules fuse it
+	// into a single team-barrier crossing (every worker arrives, the last
+	// arriver swaps before the release publishes it: Barrier.WaitDo);
+	// core-level sub-islands swap their own private pair with no
+	// synchronization (bar == nil).
+	swapItem
 )
 
 // schedItem is one precompiled unit of work in a worker's step program.
@@ -59,13 +67,20 @@ type schedItem struct {
 	dst   *grid.Field
 	src   *grid.Field
 	bar   *sched.Barrier
+	// do is the precompiled serial section of a fused swap-barrier item
+	// (kind == swapItem with bar != nil): the last arriver runs it inside
+	// the crossing. Compiled once so the steady-state walk stays
+	// allocation-free.
+	do func()
 }
 
 // phaseInfo labels one profiling phase of a compiled schedule.
 type phaseInfo struct {
 	// label names the phase: the fused group's member stages joined with
-	// "+" (matching perf.FusionTable rows), or a synthetic name for the
-	// non-compute phases ("global-join", "halo-exchange", "publish").
+	// "+" (matching perf.FusionTable rows; inner steps of a temporal block
+	// before the final one carry an "@-d" suffix, d steps before the
+	// global join), or a synthetic name for the non-compute phases
+	// ("global-join", "halo-exchange", "publish", "inner-swap").
 	label string
 	// group is the fused-group index behind a compute phase, -1 for the
 	// synthetic phases.
@@ -78,9 +93,24 @@ type phaseInfo struct {
 // decomposition helpers (plan.stageChunks) so both backends price and
 // execute the same geometry.
 type Schedule struct {
-	// items[t][w] is the step program of worker w of team t.
+	// items[t][w] is the step program of worker w of team t. With temporal
+	// blocking (ksteps > 1) one walk of items advances ksteps time steps —
+	// a full k-block between global joins.
 	items [][][]schedItem
+	// remainder[t][w] is the trailing sub-block program when the step
+	// count is not a multiple of ksteps (Steps mod ksteps inner steps,
+	// reusing the tail of the same trapezoid geometry, the same barriers
+	// and the same phase ids). Nil when no remainder is needed.
+	remainder [][][]schedItem
+	// ksteps is the temporal-blocking factor the schedule was compiled
+	// with (1 = one step per walk, today's schedules); kstepReason records
+	// why a requested Config.KSteps > 1 fell back to 1; remSteps is the
+	// remainder program's inner-step count (0 when remainder is nil).
+	ksteps      int
+	kstepReason string
+	remSteps    int
 	// barriers lists every barrier in the schedule, for Abort on failure.
+	// The remainder program shares them, so one poisoning aborts both.
 	barriers []*sched.Barrier
 	// mode records how the schedule publishes feedback between steps:
 	// a buffer swap on the single shared environment (Original, Plus31D),
@@ -135,6 +165,16 @@ func (s *Schedule) SwapFeedback() bool { return s.mode == FeedbackSwap }
 // why the halo-strip exchange was not compiled ("" otherwise).
 func (s *Schedule) FallbackReason() string { return s.fallbackReason }
 
+// KSteps returns the temporal-blocking factor the schedule executes: the
+// number of full time steps one walk of the compiled k-block advances
+// between global joins (1 = no temporal blocking).
+func (s *Schedule) KSteps() int { return s.ksteps }
+
+// KStepFallbackReason returns why a requested Config.KSteps > 1 fell back to
+// step-at-a-time execution ("" when temporal blocking was not requested or
+// compiled as requested).
+func (s *Schedule) KStepFallbackReason() string { return s.kstepReason }
+
 // fail records the first worker failure and poisons every barrier so the
 // remaining workers unwind instead of deadlocking at the next phase.
 func (s *Schedule) fail(p any) {
@@ -169,6 +209,12 @@ func runItems(items []schedItem) {
 			grid.CopyRegion(it.dst, it.src, it.reg)
 		case barrierItem:
 			it.bar.Wait()
+		case swapItem:
+			if it.bar != nil {
+				it.bar.WaitDo(it.do)
+			} else {
+				grid.SwapData(it.dst, it.src)
+			}
 		}
 	}
 }
@@ -195,14 +241,36 @@ type scheduleCompiler struct {
 	// units, and leave it pointing at the just-finished phase when
 	// emitting the barrier that seals it.
 	curPhase int32
-	// phaseByGroup maps a fused-group index to its phase id, so a group
-	// swept once per block still aggregates into a single phase.
-	phaseByGroup map[int]int32
+	// phaseByGroup maps a fused group and its inner-step distance d (from
+	// the temporal block's final step; always 0 without temporal blocking)
+	// to its phase id, so a group swept once per block and team still
+	// aggregates into a single phase per inner step. Keying by d rather
+	// than by inner-step index lets the remainder program — whose r inner
+	// steps are the tail of the k-block's geometry — share the k-block's
+	// phase ids.
+	phaseByGroup map[groupKey]int32
+	// phaseByLabel caches the synthetic phases ("global-join",
+	// "halo-exchange", "publish", "inner-swap") so the remainder program
+	// reuses the k-block's ids.
+	phaseByLabel map[string]int32
+	// tbars / gbar cache the per-team and global barriers so the remainder
+	// program waits at the same objects as the k-block (one Abort poisons
+	// both).
+	tbars []*sched.Barrier
+	gbar  *sched.Barrier
+	// rem redirects emission into the schedule's remainder program.
+	rem bool
+	// feedback names the step input the inner-step swaps publish into.
+	feedback string
 	// halo is the swap+halo exchange geometry, nil when the island
 	// strategies must publish by whole-part copies; haloReason says why.
 	halo       *haloGeom
 	haloReason string
 }
+
+// groupKey identifies a compute phase: a fused group at an inner-step
+// distance from the temporal block's final step.
+type groupKey struct{ gi, d int }
 
 // bindKey identifies a border binding of an environment.
 type bindKey struct {
@@ -213,7 +281,10 @@ type bindKey struct {
 
 func newScheduleCompiler(p *plan, prog *stencil.KernelProgram, teams []*sched.Team, out *grid.Field) *scheduleCompiler {
 	c := &scheduleCompiler{p: p, prog: prog, teams: teams, out: out, sch: &Schedule{},
-		binds: make(map[bindKey]*stencil.Env), phaseByGroup: make(map[int]int32)}
+		binds:        make(map[bindKey]*stencil.Env),
+		phaseByGroup: make(map[groupKey]int32),
+		phaseByLabel: make(map[string]int32),
+		tbars:        make([]*sched.Barrier, len(teams))}
 	c.exts = make([]stencil.Extent, len(prog.Stages))
 	for s := range prog.Stages {
 		c.exts[s] = stencil.InputsExtent(prog.Stages[s].Inputs)
@@ -354,7 +425,20 @@ func (c *scheduleCompiler) bindEnv(env *stencil.Env, pc stencil.BorderPiece) *st
 
 func (c *scheduleCompiler) push(t, w int, it schedItem) {
 	it.phase = c.curPhase
+	if c.rem {
+		c.sch.remainder[t][w] = append(c.sch.remainder[t][w], it)
+		return
+	}
 	c.sch.items[t][w] = append(c.sch.items[t][w], it)
+}
+
+// beginRemainder switches emission to the schedule's remainder program.
+func (c *scheduleCompiler) beginRemainder() {
+	c.rem = true
+	c.sch.remainder = make([][][]schedItem, len(c.teams))
+	for t, team := range c.teams {
+		c.sch.remainder[t] = make([][]schedItem, team.Size())
+	}
 }
 
 // newPhase registers a profiling phase and returns its id.
@@ -364,19 +448,38 @@ func (c *scheduleCompiler) newPhase(label string, group int) int32 {
 	return id
 }
 
-// groupPhase returns (creating on first use) the phase of fused group gi,
-// labeled with the member stage names joined by "+" — the same labels
-// perf.FusionTable and DescribeSchedule use.
-func (c *scheduleCompiler) groupPhase(gi int) int32 {
-	if id, ok := c.phaseByGroup[gi]; ok {
+// syntheticPhase returns (creating on first use) the phase of a synthetic
+// (non-compute) label, so the remainder program shares the k-block's ids.
+func (c *scheduleCompiler) syntheticPhase(label string) int32 {
+	if id, ok := c.phaseByLabel[label]; ok {
+		return id
+	}
+	id := c.newPhase(label, -1)
+	c.phaseByLabel[label] = id
+	return id
+}
+
+// groupPhase returns (creating on first use) the phase of fused group gi at
+// inner-step distance d, labeled with the member stage names joined by "+" —
+// the same labels perf.FusionTable and DescribeSchedule use — plus an "@-d"
+// suffix for the temporal-block inner steps before the final one (d steps
+// before the global join), so imbalance tables stay meaningful per inner
+// step.
+func (c *scheduleCompiler) groupPhase(gi, d int) int32 {
+	key := groupKey{gi, d}
+	if id, ok := c.phaseByGroup[key]; ok {
 		return id
 	}
 	var names []string
 	for _, s := range c.p.fuse.Groups[gi].Stages {
 		names = append(names, c.prog.Stages[s].Name)
 	}
-	id := c.newPhase(strings.Join(names, "+"), gi)
-	c.phaseByGroup[gi] = id
+	label := strings.Join(names, "+")
+	if d > 0 {
+		label = fmt.Sprintf("%s@-%d", label, d)
+	}
+	id := c.newPhase(label, gi)
+	c.phaseByGroup[key] = id
 	return id
 }
 
@@ -385,6 +488,23 @@ func (c *scheduleCompiler) newBarrier(n int) *sched.Barrier {
 	b := sched.NewBarrier(n)
 	c.sch.barriers = append(c.sch.barriers, b)
 	return b
+}
+
+// teamBarrier returns (creating on first use) team t's phase barrier; the
+// remainder program waits at the same object as the k-block.
+func (c *scheduleCompiler) teamBarrier(t int) *sched.Barrier {
+	if c.tbars[t] == nil {
+		c.tbars[t] = c.newBarrier(c.teams[t].Size())
+	}
+	return c.tbars[t]
+}
+
+// globalBarrier returns (creating on first use) the machine-wide barrier.
+func (c *scheduleCompiler) globalBarrier() *sched.Barrier {
+	if c.gbar == nil {
+		c.gbar = c.newBarrier(c.totalCores())
+	}
+	return c.gbar
 }
 
 // addGlobalBarrier appends one wait at bar to every worker of every team.
@@ -410,9 +530,10 @@ func (c *scheduleCompiler) addTeamBarrier(t int, bar *sched.Barrier) {
 // MPDATA's per-block phases 17 -> 7 (back to 17 with Config.DisableFusion).
 func compileSchedule(p *plan, prog *stencil.KernelProgram, teams []*sched.Team,
 	envs []*stencil.Env, workerEnvs [][]*stencil.Env, out *grid.Field,
-	halo *haloGeom, haloReason string) (*Schedule, error) {
+	feedback string, halo *haloGeom, haloReason string) (*Schedule, error) {
 	c := newScheduleCompiler(p, prog, teams, out)
 	c.halo, c.haloReason = halo, haloReason
+	c.feedback = feedback
 	groups, err := p.fuse.CompileGroups(prog)
 	if err != nil {
 		return nil, err
@@ -420,22 +541,41 @@ func compileSchedule(p *plan, prog *stencil.KernelProgram, teams []*sched.Team,
 	c.groups = groups
 	c.sch.stages = len(prog.Stages)
 	c.sch.groups = len(groups)
-	switch {
-	case p.cfg.Strategy == Original:
-		c.compileOriginal(envs[0])
-	case p.cfg.Strategy == Plus31D:
-		c.compilePlus31D(envs[0])
-	case p.cfg.CoreIslands:
-		c.compileCoreIslands(workerEnvs)
-	default:
-		c.compileIslands(envs)
+	c.sch.ksteps = p.ksteps
+	c.sch.kstepReason = p.kstepReason
+	compile := func(kk int) {
+		switch {
+		case p.cfg.Strategy == Original:
+			c.compileOriginal(envs[0])
+		case p.cfg.Strategy == Plus31D:
+			c.compilePlus31D(envs[0])
+		case p.cfg.CoreIslands:
+			c.compileCoreIslands(workerEnvs, kk)
+		default:
+			c.compileIslands(envs, kk)
+		}
+	}
+	compile(p.ksteps)
+	if rem := p.cfg.Steps % p.ksteps; p.ksteps > 1 && rem > 0 {
+		// The trailing sub-block runs the last rem inner steps of the same
+		// trapezoid geometry (distances rem-1 .. 0), waiting at the same
+		// barriers and accounted to the same phase ids as the k-block.
+		c.beginRemainder()
+		compile(rem)
+		c.sch.remSteps = rem
 	}
 	return c.sch, nil
 }
 
 // blockSpan returns the span accessor of block b of island i.
 func (c *scheduleCompiler) blockSpan(island, b int) func(s int) grid.Region {
-	return func(s int) grid.Region { return c.p.spans[island][s][b] }
+	return c.blockSpanAt(0, island, b)
+}
+
+// blockSpanAt returns the span accessor of block b of island i for the inner
+// step at distance d from a temporal block's final step.
+func (c *scheduleCompiler) blockSpanAt(d, island, b int) func(s int) grid.Region {
+	return func(s int) grid.Region { return c.p.spansK[d][island][s][b] }
 }
 
 // compileOriginal: every fused group sweeps the whole domain chunked along i
@@ -444,7 +584,7 @@ func (c *scheduleCompiler) blockSpan(island, b int) func(s int) grid.Region {
 // join (replacing the full-grid copyFeedback sweep).
 func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
 	cores := c.totalCores()
-	global := c.newBarrier(cores)
+	global := c.globalBarrier()
 	first := true
 	for gi := range c.p.fuse.Groups {
 		units := c.groupUnits(gi, c.blockSpan(0, 0))
@@ -457,7 +597,7 @@ func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
 			c.addGlobalBarrier(global)
 		}
 		first = false
-		c.curPhase = c.groupPhase(gi)
+		c.curPhase = c.groupPhase(gi, 0)
 		for _, u := range units {
 			chunks := decomp.SplitDim(u.reg, 0, cores)
 			for t, team := range c.teams {
@@ -474,7 +614,7 @@ func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
 // is chunked along j over all cores with a machine-wide barrier per group.
 func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
 	cores := c.totalCores()
-	global := c.newBarrier(cores)
+	global := c.globalBarrier()
 	first := true
 	for b := range c.p.blocks[0] {
 		for gi := range c.p.fuse.Groups {
@@ -486,7 +626,7 @@ func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
 				c.addGlobalBarrier(global)
 			}
 			first = false
-			c.curPhase = c.groupPhase(gi)
+			c.curPhase = c.groupPhase(gi, 0)
 			for _, u := range units {
 				chunks := decomp.SplitDim(u.reg, 1, cores)
 				for t, team := range c.teams {
@@ -503,27 +643,51 @@ func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
 // compileIslands: each team walks its island's blocks and fused groups with
 // per-group team barriers; a single global barrier separates compute from
 // the publish copies (islands read each other's feedback halos, so no
-// island may publish before all have finished computing).
-func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
+// island may publish before all have finished computing). With temporal
+// blocking (kk > 1) each team runs kk full step bodies back to back — the
+// inner step at distance d from the block's final step sweeping the
+// d-widened trapezoids of plan.spansK[d] — separated only by island-local
+// barrier crossings around a private feedback/output buffer swap; the global
+// join, the halo-strip exchange and the driver swap then happen once per
+// block instead of once per step.
+func (c *scheduleCompiler) compileIslands(envs []*stencil.Env, kk int) {
 	for t, team := range c.teams {
 		n := team.Size()
-		tbar := c.newBarrier(n)
+		tbar := c.teamBarrier(t)
 		first := true
-		for b := range c.p.blocks[t] {
-			for gi := range c.p.fuse.Groups {
-				units := c.groupUnits(gi, c.blockSpan(t, b))
-				if len(units) == 0 {
-					continue
+		for j := 0; j < kk; j++ {
+			d := kk - 1 - j
+			if j > 0 {
+				// Between inner steps: a single fused crossing — every
+				// worker arrives at the team barrier (the wait measures
+				// the previous group's imbalance), the last arriver swaps
+				// the island's private feedback/output buffers, and the
+				// release publishes the swap into the next step's sweeps.
+				c.curPhase = c.syntheticPhase("inner-swap")
+				fb, out := envs[t].Field(c.feedback), envs[t].Field(c.prog.Output)
+				do := func() { grid.SwapData(fb, out) }
+				for w := 0; w < n; w++ {
+					c.push(t, w, schedItem{kind: swapItem, bar: tbar,
+						dst: fb, src: out, do: do})
 				}
-				if !first {
-					c.addTeamBarrier(t, tbar)
-				}
-				first = false
-				c.curPhase = c.groupPhase(gi)
-				for _, u := range units {
-					chunks := decomp.SplitDim(u.reg, 1, n)
-					for w := 0; w < n; w++ {
-						c.addUnit(t, w, u, envs[t], chunks[w])
+				first = true
+			}
+			for b := range c.p.blocks[t] {
+				for gi := range c.p.fuse.Groups {
+					units := c.groupUnits(gi, c.blockSpanAt(d, t, b))
+					if len(units) == 0 {
+						continue
+					}
+					if !first {
+						c.addTeamBarrier(t, tbar)
+					}
+					first = false
+					c.curPhase = c.groupPhase(gi, d)
+					for _, u := range units {
+						chunks := decomp.SplitDim(u.reg, 1, n)
+						for w := 0; w < n; w++ {
+							c.addUnit(t, w, u, envs[t], chunks[w])
+						}
 					}
 				}
 			}
@@ -532,9 +696,8 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 	// The end-of-compute machine-wide join gets its own phase: its wait is
 	// the inter-island imbalance (the paper's phase-5 synchronization),
 	// not any single group's.
-	c.curPhase = c.newPhase("global-join", -1)
-	global := c.newBarrier(c.totalCores())
-	c.addGlobalBarrier(global)
+	c.curPhase = c.syntheticPhase("global-join")
+	c.addGlobalBarrier(c.globalBarrier())
 	if c.halo != nil {
 		// swap+halo: team t's workers pull only the neighbor-facing
 		// strips of island t's step halo from the owners' freshly
@@ -547,7 +710,7 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env) {
 	}
 	c.sch.mode = FeedbackCopy
 	c.sch.fallbackReason = c.haloReason
-	c.curPhase = c.newPhase("publish", -1)
+	c.curPhase = c.syntheticPhase("publish")
 	for t, team := range c.teams {
 		n := team.Size()
 		src := envs[t].Field(c.prog.Output)
@@ -571,7 +734,7 @@ func (c *scheduleCompiler) compileHaloExchange(envOf func(int) *stencil.Env, tea
 	c.sch.mode = FeedbackSwapHalo
 	c.sch.haloStrips = c.halo.stripCount
 	c.sch.haloBytes = c.halo.stripBytes
-	c.curPhase = c.newPhase("halo-exchange", -1)
+	c.curPhase = c.syntheticPhase("halo-exchange")
 	for e := range c.halo.owned {
 		dst := envOf(e).Field(c.prog.Output)
 		t, n, split := teamOf(e)
@@ -604,27 +767,38 @@ func (c *scheduleCompiler) workerOf(e, t int) int {
 // and fused groups over its private j-trapezoids with no synchronization
 // until the global end-of-compute barrier, then publishes its exact
 // sub-part. Fusion brings no barrier savings here (there are none to cut);
-// the fused sweeps still share their member stages' input streams.
-func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
+// the fused sweeps still share their member stages' input streams. With
+// temporal blocking (kk > 1) each sub-island runs kk step bodies back to
+// back over its d-widened trapezoids, swapping its own private
+// feedback/output pair between inner steps with no synchronization at all —
+// the block stays barrier-free until the global join.
+func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env, kk int) {
 	for t, team := range c.teams {
 		n := team.Size()
 		subs := splitPart(c.p.parts[t], n)
 		for w := 0; w < n; w++ {
 			env := workerEnvs[t][w]
-			for b := range c.p.blocks[t] {
-				for gi := range c.p.fuse.Groups {
-					span := func(s int) grid.Region { return c.p.workerRegion(t, s, b, subs[w]) }
-					c.curPhase = c.groupPhase(gi)
-					for _, u := range c.groupUnits(gi, span) {
-						c.addUnit(t, w, u, env, u.reg)
+			for j := 0; j < kk; j++ {
+				d := kk - 1 - j
+				if j > 0 {
+					c.curPhase = c.syntheticPhase("inner-swap")
+					c.push(t, w, schedItem{kind: swapItem,
+						dst: env.Field(c.feedback), src: env.Field(c.prog.Output)})
+				}
+				for b := range c.p.blocks[t] {
+					for gi := range c.p.fuse.Groups {
+						span := func(s int) grid.Region { return c.p.workerRegionAt(d, t, s, b, subs[w]) }
+						c.curPhase = c.groupPhase(gi, d)
+						for _, u := range c.groupUnits(gi, span) {
+							c.addUnit(t, w, u, env, u.reg)
+						}
 					}
 				}
 			}
 		}
 	}
-	c.curPhase = c.newPhase("global-join", -1)
-	global := c.newBarrier(c.totalCores())
-	c.addGlobalBarrier(global)
+	c.curPhase = c.syntheticPhase("global-join")
+	c.addGlobalBarrier(c.globalBarrier())
 	if c.halo != nil {
 		// swap+halo at worker granularity: each sub-island pulls its own
 		// j/i halo strips — from teammates' sub-parts and from the
@@ -643,7 +817,7 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
 	}
 	c.sch.mode = FeedbackCopy
 	c.sch.fallbackReason = c.haloReason
-	c.curPhase = c.newPhase("publish", -1)
+	c.curPhase = c.syntheticPhase("publish")
 	for t, team := range c.teams {
 		n := team.Size()
 		subs := splitPart(c.p.parts[t], n)
@@ -655,12 +829,19 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env) {
 	}
 }
 
-// ScheduleStats summarizes a compiled schedule for inspection.
+// ScheduleStats summarizes a compiled schedule for inspection. Item counts
+// cover one walk of the main program — one time step without temporal
+// blocking, one k-block of KSteps steps with it.
 type ScheduleStats struct {
-	// KernelItems / CopyItems / BarrierWaits count items summed over all
-	// workers; Barriers counts distinct barrier objects.
+	// KernelItems / CopyItems / SwapItems / BarrierWaits count items summed
+	// over all workers; Barriers counts distinct barrier objects.
+	// SwapItems counts swaps performed, not items emitted: a fused
+	// swap-barrier crossing (every team worker arrives, the last arriver
+	// swaps) is one swap per team, an unsynchronized core-level swap is
+	// one per worker.
 	KernelItems  int
 	CopyItems    int
+	SwapItems    int
 	BarrierWaits int
 	Barriers     int
 	// MaxItemsPerWorker is the longest per-worker step program.
@@ -671,12 +852,20 @@ type ScheduleStats struct {
 	// fusion is disabled).
 	Stages      int
 	PhaseGroups int
+	// KSteps is the temporal-blocking factor one walk of the schedule
+	// advances (1 = step-at-a-time); KStepFallbackReason says why a
+	// requested Config.KSteps > 1 fell back to 1. RemainderSteps counts the
+	// trailing sub-block's inner steps when the configured step count is
+	// not a multiple of KSteps.
+	KSteps              int
+	KStepFallbackReason string
+	RemainderSteps      int
 	// Feedback is the schedule's feedback-publication mode; SwapFeedback
 	// mirrors Schedule.SwapFeedback (the shared-environment swap).
 	Feedback     FeedbackMode
 	SwapFeedback bool
-	// HaloStrips / HaloBytes total the swap+halo exchange per step (zero
-	// in the other modes); FallbackReason says why a copy-mode island
+	// HaloStrips / HaloBytes total the swap+halo exchange per global join
+	// (zero in the other modes); FallbackReason says why a copy-mode island
 	// schedule did not compile the halo-strip exchange.
 	HaloStrips     int
 	HaloBytes      int64
@@ -688,9 +877,10 @@ func (s *Schedule) Stats() ScheduleStats {
 	st := ScheduleStats{Barriers: len(s.barriers),
 		Feedback: s.mode, SwapFeedback: s.mode == FeedbackSwap,
 		HaloStrips: s.haloStrips, HaloBytes: s.haloBytes, FallbackReason: s.fallbackReason,
-		Stages: s.stages, PhaseGroups: s.groups}
+		Stages: s.stages, PhaseGroups: s.groups,
+		KSteps: s.ksteps, KStepFallbackReason: s.kstepReason}
 	for _, team := range s.items {
-		for _, items := range team {
+		for w, items := range team {
 			if len(items) > st.MaxItemsPerWorker {
 				st.MaxItemsPerWorker = len(items)
 			}
@@ -700,12 +890,21 @@ func (s *Schedule) Stats() ScheduleStats {
 					st.KernelItems++
 				case copyItem:
 					st.CopyItems++
+				case swapItem:
+					// A fused swap-barrier appears in every worker's
+					// program but performs one swap per crossing; count
+					// it once per team. Unsynchronized core-level swaps
+					// (bar == nil) are one swap per worker.
+					if items[i].bar == nil || w == 0 {
+						st.SwapItems++
+					}
 				case barrierItem:
 					st.BarrierWaits++
 				}
 			}
 		}
 	}
+	st.RemainderSteps = s.remSteps
 	return st
 }
 
@@ -713,11 +912,21 @@ func (st ScheduleStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "schedule: %d stages in %d phase groups, %d kernel items, %d copy items, %d waits at %d barriers, max %d items/worker, feedback=%s",
 		st.Stages, st.PhaseGroups, st.KernelItems, st.CopyItems, st.BarrierWaits, st.Barriers, st.MaxItemsPerWorker, st.Feedback)
+	if st.KSteps > 1 {
+		fmt.Fprintf(&b, ", ksteps=%d (%d inner swaps", st.KSteps, st.SwapItems)
+		if st.RemainderSteps > 0 {
+			fmt.Fprintf(&b, ", %d-step remainder", st.RemainderSteps)
+		}
+		b.WriteString(")")
+	}
 	if st.Feedback == FeedbackSwapHalo {
 		fmt.Fprintf(&b, " (%d strips, %d B/step)", st.HaloStrips, st.HaloBytes)
 	}
 	if st.FallbackReason != "" {
 		fmt.Fprintf(&b, " (halo fallback: %s)", st.FallbackReason)
+	}
+	if st.KStepFallbackReason != "" {
+		fmt.Fprintf(&b, " (ksteps fallback: %s)", st.KStepFallbackReason)
 	}
 	return b.String()
 }

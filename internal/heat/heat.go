@@ -62,7 +62,14 @@ func NewProgram(k int) (*stencil.KernelProgram, error) {
 		})
 		prev = name
 	}
-	return stencil.BuildProgram(fmt.Sprintf("heat-jacobi%d", k), []string{In}, prev, stages)
+	kp, err := stencil.BuildProgram(fmt.Sprintf("heat-jacobi%d", k), []string{In}, prev, stages)
+	if err != nil {
+		return nil, err
+	}
+	// The output becomes the next step's t0: declaring the feedback input
+	// lets the executor temporally block the iteration (exec.Config.KSteps).
+	kp.Program.Feedback = In
+	return kp, nil
 }
 
 // Reference advances the field by steps*k Jacobi iterations sequentially

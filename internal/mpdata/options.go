@@ -76,6 +76,11 @@ func NewProgramWithOptions(o Options) (*stencil.KernelProgram, error) {
 		if err != nil {
 			return nil, err
 		}
+		// psi is the step's feedback input: the output becomes the next
+		// step's psi, which lets the executor compile temporal blocks
+		// (exec.Config.KSteps) with halos widened by the k-fold composition
+		// of psi's per-face extent.
+		kp.Program.Feedback = InPsi
 		for _, fk := range fused {
 			if err := kp.RegisterFused(fk); err != nil {
 				return nil, err

@@ -121,3 +121,63 @@ func TestDispatchWaitAllocFree(t *testing.T) {
 		t.Fatalf("Dispatch+Wait allocates %v per run, want 0", allocs)
 	}
 }
+
+// TestBarrierWaitDo checks the fused serial-section crossing: the section
+// runs exactly once per phase, and its effects are visible to every
+// participant on release (the flip publishes them).
+func TestBarrierWaitDo(t *testing.T) {
+	const workers = 7
+	const phases = 200
+	team := NewTeam(0, 0, workers, 0)
+	defer team.Close()
+	bar := NewBarrier(workers)
+
+	var serial atomic.Int32
+	team.Run(func(w int) {
+		for p := 0; p < phases; p++ {
+			bar.WaitDo(func() { serial.Add(1) })
+			if got := serial.Load(); got < int32(p+1) {
+				panic("serial section not visible on release")
+			}
+		}
+	})
+	if got := serial.Load(); got != phases {
+		t.Fatalf("serial section ran %d times, want %d (once per phase)", got, phases)
+	}
+}
+
+func TestBarrierWaitDoSingleParticipant(t *testing.T) {
+	bar := NewBarrier(1)
+	ran := 0
+	for i := 0; i < 3; i++ {
+		bar.WaitDo(func() { ran++ })
+	}
+	if ran != 3 {
+		t.Fatalf("serial section ran %d times, want 3", ran)
+	}
+}
+
+// TestBarrierWaitDoPanic: a panicking serial section must poison the
+// barrier so the waiting teammates unwind instead of parking forever, and
+// the last arriver re-raises the original panic value.
+func TestBarrierWaitDoPanic(t *testing.T) {
+	const workers = 4
+	team := NewTeam(0, 0, workers, 0)
+	defer team.Close()
+	bar := NewBarrier(workers)
+
+	team.Dispatch(func(w int) {
+		bar.WaitDo(func() { panic("serial boom") })
+	})
+	p := team.WaitRecover()
+	if p == nil {
+		t.Fatal("no panic propagated from the serial section")
+	}
+	s := p.(string)
+	if !strings.Contains(s, "serial boom") && !strings.Contains(s, "barrier aborted") {
+		t.Fatalf("unexpected panic %q", s)
+	}
+	if !bar.Aborted() {
+		t.Fatal("barrier not poisoned after serial-section panic")
+	}
+}

@@ -70,25 +70,49 @@ func (b *Barrier) Size() int { return b.n }
 // barrier aborted between its entry check and its release does not let it
 // escape while its (aborting) teammates unwind.
 func (b *Barrier) Wait() {
-	b.wait(false)
+	b.wait(false, nil)
+}
+
+// WaitDo is Wait with a serial section fused into the crossing: the last
+// arriver runs f before flipping the generation, so every participant
+// observes f's effects on release — one crossing instead of the
+// barrier/serial-work/barrier sandwich. The happens-before edge is the
+// generation flip itself: f's writes precede the atomic flip in the last
+// arriver, and spinning or parked waiters load the flipped generation before
+// returning. If f panics, the barrier is aborted (teammates unwind with
+// "barrier aborted") and the panic is re-raised in the last arriver.
+func (b *Barrier) WaitDo(f func()) {
+	b.wait(false, f)
+}
+
+// WaitDoProfiled is WaitDo with the wall-clock accounting of WaitProfiled.
+func (b *Barrier) WaitDoProfiled(f func()) (spin, park time.Duration) {
+	return b.wait(true, f)
 }
 
 // wait implements Wait and, when timed, reports how the crossing was spent:
 // time spinning (cooperative yields) and time parked on the condition
 // variable. With timed=false no clocks are read at all — the plain Wait path
 // of the disabled-profiler executor stays exactly as cheap as before.
-func (b *Barrier) wait(timed bool) (spin, park time.Duration) {
+func (b *Barrier) wait(timed bool, f func()) (spin, park time.Duration) {
 	if b.aborted.Load() {
 		panic("sched: barrier aborted")
 	}
 	if b.n == 1 {
+		if f != nil {
+			b.runSerial(f)
+		}
 		return 0, 0
 	}
 	gen := b.gen.Load()
 	if int(b.arrived.Add(1)) == b.n {
-		// Last arriver: reset the count for the next phase, then flip
+		// Last arriver: run the serial section (if any) before the flip
+		// publishes it, reset the count for the next phase, then flip
 		// the generation under the mutex so parked waiters cannot miss
 		// the wakeup.
+		if f != nil {
+			b.runSerial(f)
+		}
 		b.arrived.Store(0)
 		b.mu.Lock()
 		b.gen.Add(1)
@@ -144,7 +168,19 @@ func (b *Barrier) wait(timed bool) (spin, park time.Duration) {
 // the condition variable. The fast path — teammates already arrived when
 // this participant checked — reads no clocks at all.
 func (b *Barrier) WaitProfiled() (spin, park time.Duration) {
-	return b.wait(true)
+	return b.wait(true, nil)
+}
+
+// runSerial runs a WaitDo serial section, converting a panic in it into a
+// barrier abort (releasing the teammates to unwind) before re-raising.
+func (b *Barrier) runSerial(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.Abort()
+			panic(r)
+		}
+	}()
+	f()
 }
 
 // Abort poisons the barrier and releases every waiter (current and future)

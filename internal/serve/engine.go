@@ -61,6 +61,25 @@ type mpdataEngine struct {
 	synced bool
 }
 
+// CheckKSteps verifies a temporal-blocking request would actually compile at
+// the requested k for the spec's MPDATA program — the shared feasibility
+// gate behind both the server's spec validation and mpdata-sim -ksteps, so
+// both reject an infeasible k with the same executor error text.
+func (n NormSpec) CheckKSteps() error {
+	if n.KSteps <= 1 {
+		return nil
+	}
+	ec, err := n.ExecConfig()
+	if err != nil {
+		return err
+	}
+	prog, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: n.IORD, NonOscillatory: !n.Unlimited})
+	if err != nil {
+		return err
+	}
+	return exec.CheckKSteps(ec, &prog.Program, n.Domain)
+}
+
 // NewMPDATAEngine compiles an MPDATA runner for the spec — the pool's
 // default factory. The compile cost this pays (schedule, environments, halo
 // strips) is exactly what the cache amortizes across repeat jobs.

@@ -215,7 +215,10 @@ func (s *Server) executeJob(j *Job, lease *Lease, queueWait time.Duration) (reus
 	var runErr error
 	start := time.Now()
 	steps := 0
-	for st := 0; st < j.ns.Steps; st++ {
+	// One engine Step is one dispatch unit: a whole k-step block under
+	// temporal blocking (Normalize guarantees stride divides Steps).
+	stride := j.ns.StepsPerDispatch()
+	for st := 0; st < j.ns.Steps; st += stride {
 		if j.ctx.Err() != nil {
 			break
 		}
@@ -224,7 +227,7 @@ func (s *Server) executeJob(j *Job, lease *Lease, queueWait time.Duration) (reus
 			break
 		}
 		s.metrics.ObserveStep(label, time.Since(t0))
-		steps = st + 1
+		steps = st + stride
 		j.progress(steps)
 	}
 	wall := time.Since(start)

@@ -416,6 +416,81 @@ func TestCancelRunningRealEngine(t *testing.T) {
 	}
 }
 
+// TestServeKStepJobs is the serving half of the temporal-blocking
+// acceptance: a k=4 job and a k=1 job of the same shape produce identical
+// checksums but never share an engine (KSteps is part of the cache key —
+// the block structure and widened halos are compiled in), repeat k=4 jobs
+// do reuse theirs, and progress advances in whole blocks.
+func TestServeKStepJobs(t *testing.T) {
+	srv := serve.NewServer(serve.Options{Slots: 1, Logf: t.Logf})
+	defer srv.Close()
+
+	// NI=32 over 2 islands leaves 16-wide parts, enough for the 12-cell
+	// k=4 halo of MPDATA.
+	run := func(ksteps int) *serve.Result {
+		t.Helper()
+		j, err := srv.Submit(serve.Spec{Grid: "32x16x8", Steps: 4, Processors: 2, KSteps: ksteps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, j); st != serve.StateSucceeded {
+			t.Fatalf("ksteps=%d: state %s, err %q", ksteps, st, srv.Status(j).Error)
+		}
+		res := srv.Status(j).Result
+		if res.Steps != 4 {
+			t.Fatalf("ksteps=%d: result steps = %d, want 4", ksteps, res.Steps)
+		}
+		return res
+	}
+	plain := run(1)
+	blocked := run(4)
+	if blocked.CacheHit {
+		t.Fatal("k=4 job reused the k=1 engine — KSteps missing from the cache key")
+	}
+	if blocked.Checksums != plain.Checksums {
+		t.Fatalf("k=4 checksums %+v differ from k=1's %+v", blocked.Checksums, plain.Checksums)
+	}
+	if again := run(4); !again.CacheHit {
+		t.Fatal("repeat k=4 job missed the engine cache")
+	}
+	ps := srv.PoolStats()
+	if ps.Misses != 2 {
+		t.Fatalf("cache misses = %d, want 2 (one engine per k)", ps.Misses)
+	}
+}
+
+// TestCancelKStepMidBlock cancels a temporally blocked job while workers are
+// inside a k-step block on a real engine: the barrier-abort path must stop
+// the block promptly and the job must come back canceled, not stuck or
+// succeeded.
+func TestCancelKStepMidBlock(t *testing.T) {
+	srv := serve.NewServer(serve.Options{Slots: 1, Logf: t.Logf})
+	defer srv.Close()
+
+	j, err := srv.Submit(serve.Spec{Grid: "48x32x8", Steps: 100000, Processors: 2, KSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, serve.StateRunning)
+	time.Sleep(20 * time.Millisecond) // land inside the block loop
+	srv.Cancel(j, "canceled by client")
+	if st := waitTerminal(t, j); st != serve.StateCanceled {
+		t.Fatalf("state = %s, want canceled (err %q)", st, srv.Status(j).Error)
+	}
+	if done := srv.Status(j); done.Step >= 100000 {
+		t.Fatalf("job ran to completion (%d steps) despite the cancel", done.Step)
+	}
+	// The slot must keep serving: the poisoned engine is discarded and a
+	// fresh one compiled.
+	next, err := srv.Submit(serve.Spec{Grid: "48x32x8", Steps: 4, Processors: 2, KSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, next); st != serve.StateSucceeded {
+		t.Fatalf("follow-up job state = %s, err %q", st, srv.Status(next).Error)
+	}
+}
+
 // TestDrainGraceful checks the happy drain path: queued and running jobs all
 // finish within the timeout and the drain reports success while refusing new
 // admissions.

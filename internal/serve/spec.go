@@ -51,6 +51,14 @@ type Spec struct {
 	Boundary string `json:"boundary,omitempty"`
 	// CoreIslands applies the islands approach inside every island (§6).
 	CoreIslands bool `json:"core_islands,omitempty"`
+	// KSteps temporally blocks the island strategies: islands advance
+	// KSteps full time steps on private buffers between global joins
+	// (0 or 1 = step at a time). Requires the islands strategy, a steps
+	// count divisible by KSteps (served jobs advance whole blocks), and a
+	// partition wide enough to carry the k-step halo — an infeasible k is
+	// rejected at submission with the executor's fallback reason rather
+	// than silently running at k=1.
+	KSteps int `json:"ksteps,omitempty"`
 	// IORD is the MPDATA order, 1..4 (0 = the paper's default of 2).
 	IORD int `json:"iord,omitempty"`
 	// Unlimited disables the non-oscillatory flux limiter.
@@ -79,6 +87,7 @@ type NormSpec struct {
 	Variant             decomp.Variant
 	Boundary            stencil.Boundary
 	CoreIslands         bool
+	KSteps              int
 	IORD                int
 	Unlimited           bool
 	BlockI              int
@@ -225,6 +234,21 @@ func (s Spec) Normalize() (NormSpec, error) {
 		return n, fmt.Errorf("core_islands requires the islands strategy")
 	}
 	n.CoreIslands = s.CoreIslands
+	if s.KSteps < 0 {
+		return n, fmt.Errorf("ksteps must be non-negative, got %d", s.KSteps)
+	}
+	n.KSteps = s.KSteps
+	if n.KSteps == 0 {
+		n.KSteps = 1
+	}
+	if n.KSteps > 1 {
+		if n.Strategy != exec.IslandsOfCores {
+			return n, fmt.Errorf("ksteps > 1 requires the islands strategy")
+		}
+		if n.Steps%n.KSteps != 0 {
+			return n, fmt.Errorf("steps %d is not a multiple of ksteps %d (served jobs advance whole k-step blocks)", n.Steps, n.KSteps)
+		}
+	}
 	n.IORD = s.IORD
 	if n.IORD == 0 {
 		n.IORD = 2
@@ -244,6 +268,12 @@ func (s Spec) Normalize() (NormSpec, error) {
 		return n, fmt.Errorf("timeout_ms must be non-negative, got %d", s.TimeoutMs)
 	}
 	n.TimeoutMs = s.TimeoutMs
+	// With every field resolved, reject a temporal-blocking factor the
+	// compiled schedule would silently drop to 1 — same check and error
+	// text as mpdata-sim -ksteps.
+	if err := n.CheckKSteps(); err != nil {
+		return n, err
+	}
 	return n, nil
 }
 
@@ -264,9 +294,12 @@ func (n NormSpec) StrategyName() string {
 }
 
 // CacheKey identifies a compiled runner: every spec field that shapes the
-// compiled schedule, the environments or the halo geometry. Steps, Profile
-// and TimeoutMs are deliberately excluded — a cached runner advances one
-// step per dispatch, so jobs of any length (and any deadline) reuse it.
+// compiled schedule, the environments or the halo geometry — KSteps
+// included, since the temporal block structure, widened halo shells and
+// inner-swap items are all compiled in. Steps, Profile and TimeoutMs are
+// deliberately excluded — a cached runner advances one k-step block (one
+// step when KSteps <= 1) per dispatch, so jobs of any length (and any
+// deadline) reuse it.
 type CacheKey struct {
 	Domain              grid.Size
 	Strategy            exec.Strategy
@@ -275,6 +308,7 @@ type CacheKey struct {
 	Variant             decomp.Variant
 	Boundary            stencil.Boundary
 	CoreIslands         bool
+	KSteps              int
 	IORD                int
 	Unlimited           bool
 	BlockI              int
@@ -292,6 +326,7 @@ func (n NormSpec) Key() CacheKey {
 		Variant:             n.Variant,
 		Boundary:            n.Boundary,
 		CoreIslands:         n.CoreIslands,
+		KSteps:              n.KSteps,
 		IORD:                n.IORD,
 		Unlimited:           n.Unlimited,
 		BlockI:              n.BlockI,
@@ -301,9 +336,9 @@ func (n NormSpec) Key() CacheKey {
 }
 
 // ExecConfig builds the executor configuration of the normalized spec with
-// the runner compiled for one step per dispatch (the pool's engines advance
-// jobs step by step, so progress, deadlines and reuse all meet between
-// steps).
+// the runner compiled for one dispatch unit per Run: one k-step block under
+// temporal blocking, one step otherwise. Progress, deadlines and engine
+// reuse all meet between dispatches.
 func (n NormSpec) ExecConfig() (exec.Config, error) {
 	m, err := topology.UV2000(n.Processors)
 	if err != nil {
@@ -315,10 +350,15 @@ func (n NormSpec) ExecConfig() (exec.Config, error) {
 		Placement:           n.Placement,
 		Variant:             n.Variant,
 		Boundary:            n.Boundary,
-		Steps:               1,
+		Steps:               max(n.KSteps, 1),
 		BlockI:              n.BlockI,
 		CoreIslands:         n.CoreIslands,
+		KSteps:              n.KSteps,
 		DisableFusion:       n.DisableFusion,
 		DisableHaloExchange: n.DisableHaloExchange,
 	}, nil
 }
+
+// StepsPerDispatch is the number of time steps one engine Step advances: the
+// temporal block size, or 1 without temporal blocking.
+func (n NormSpec) StepsPerDispatch() int { return max(n.KSteps, 1) }

@@ -64,6 +64,13 @@ func TestSpecValidationRejections(t *testing.T) {
 		{"unknown boundary", Spec{Grid: "16x8x4", Steps: 1, Boundary: "wrap"}, "boundary"},
 		{"core islands on original", Spec{Grid: "16x8x4", Steps: 1, Strategy: "original", CoreIslands: true}, "core"},
 		{"bad iord", Spec{Grid: "16x8x4", Steps: 1, IORD: 9}, "iord"},
+		{"negative ksteps", Spec{Grid: "16x8x4", Steps: 1, KSteps: -2}, "ksteps"},
+		{"ksteps on original", Spec{Grid: "16x8x4", Steps: 2, Strategy: "original", KSteps: 2}, "islands"},
+		{"ksteps not dividing steps", Spec{Grid: "32x16x8", Steps: 5, KSteps: 2}, "multiple"},
+		// 2 islands over NI=16 leave 8-wide parts, narrower than the
+		// 12-cell k=4 halo: the executor's fallback reason must surface
+		// verbatim at submission (same text mpdata-sim -ksteps prints).
+		{"infeasible ksteps", Spec{Grid: "16x16x8", Steps: 4, KSteps: 4}, "falls back to 1"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -104,6 +111,21 @@ func TestCacheKeyIgnoresStepsAndProfile(t *testing.T) {
 	}
 	if a.Key() == c.Key() {
 		t.Fatal("cache key ignores processor count; jobs would reuse a wrong topology")
+	}
+
+	blocked := Spec{Grid: "32x16x8", Steps: 4, Processors: 2, KSteps: 4}
+	d, err := blocked.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := blocked
+	plain.KSteps = 1
+	e, err := plain.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key() == e.Key() {
+		t.Fatal("cache key ignores ksteps; a k=4 job would reuse a k=1 schedule")
 	}
 }
 

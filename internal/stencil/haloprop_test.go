@@ -213,6 +213,136 @@ func TestHaloWidthMatchesComposedExtents(t *testing.T) {
 	}
 }
 
+// unrollK builds the program that runs p for k consecutive steps with no
+// refresh in between: k renamed copies of the stage list, where every copy
+// t > 0 reads the feedback input from copy t-1's output stage instead of
+// the step input. Inter-copy edges exist only through that rewiring, so
+// each copy's output is a cut vertex and the one-step analysis of the
+// unrolled program is the ground truth for k-step halo requirements.
+func unrollK(p *Program, feedback string, k int) *Program {
+	u := &Program{Name: fmt.Sprintf("%s-x%d", p.Name, k), StepInputs: p.StepInputs}
+	prevOut := ""
+	for t := 0; t < k; t++ {
+		sfx := fmt.Sprintf("@t%d", t)
+		for _, st := range p.Stages {
+			ns := Stage{Name: st.Name + sfx, Flops: st.Flops}
+			for _, in := range st.Inputs {
+				from := in.From
+				if p.StageIndex(from) >= 0 {
+					from += sfx
+				} else if from == feedback && t > 0 {
+					from = prevOut
+				}
+				ns.Inputs = append(ns.Inputs, Input{From: from, Offsets: in.Offsets})
+			}
+			u.Stages = append(u.Stages, ns)
+		}
+		prevOut = p.Output + sfx
+	}
+	u.Output = prevOut
+	return u
+}
+
+// TestKStepHaloMatchesUnrolledProgram pins the k-step halo arithmetic that
+// sizes exec's temporal-blocking buffers: on random stage DAGs,
+// InputExtentsK's closed form (feedback compounds to fext.Scale(k), every
+// other input to its one-step extent plus fext.Scale(k-1)) must equal, per
+// face, the plain one-step analysis of the program unrolled k times — and
+// must contain the bounding box of every read the unrolled program actually
+// realizes across the k steps.
+func TestKStepHaloMatchesUnrolledProgram(t *testing.T) {
+	contains := func(outer, inner Extent) bool { return outer.Max(inner) == outer }
+	rng := rand.New(rand.NewSource(20170814))
+	for trial := 0; trial < 120; trial++ {
+		p := randomDAGProgram(rng, trial)
+		h, err := Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedback := p.StepInputs[rng.Intn(len(p.StepInputs))]
+		// The point-tracking oracle's read sets grow combinatorially with
+		// the unroll depth, so the k range stays shallow.
+		for _, k := range []int{1, 2, 3} {
+			got, err := h.InputExtentsK(feedback, k)
+			if err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			if _, readsFb := h.InputExtents[feedback]; !readsFb {
+				// An unread feedback has zero extent, so k steps need no
+				// more than one; the unrolled oracle does not apply (its
+				// earlier copies would be entirely dead).
+				for name, want := range h.InputExtents {
+					if got[name] != want {
+						t.Fatalf("trial %d k=%d: unread feedback %s widened input %s: %v != %v",
+							trial, k, feedback, name, got[name], want)
+					}
+				}
+				continue
+			}
+			unrolled := unrollK(p, feedback, k)
+			uh, err := Analyze(unrolled)
+			if err != nil {
+				t.Fatalf("trial %d k=%d: unrolled analysis: %v\nprogram: %+v", trial, k, err, unrolled)
+			}
+			if len(got) != len(uh.InputExtents) {
+				t.Fatalf("trial %d k=%d: %d k-step inputs, unrolled reads %d\nfeedback %s program: %+v",
+					trial, k, len(got), len(uh.InputExtents), feedback, p)
+			}
+			for name, want := range uh.InputExtents {
+				if got[name] != want {
+					t.Fatalf("trial %d k=%d: input %s k-step extent %v, unrolled analysis %v\nfeedback %s program: %+v",
+						trial, k, name, got[name], want, feedback, p)
+				}
+			}
+			// Realized transitive reads across the k uninterrupted steps
+			// must be covered by the k-step analysis.
+			reads := transitiveReads(unrolled)
+			for name, ext := range got {
+				if realized := boundingExtent(reads[name]); !contains(ext, realized) {
+					t.Fatalf("trial %d k=%d: input %s k-step extent %v under-provisions realized reads %v",
+						trial, k, name, ext, realized)
+				}
+			}
+		}
+	}
+}
+
+// TestKStepHaloErrorsAndScale pins the InputExtentsK contract edges and the
+// Scale arithmetic it is built on.
+func TestKStepHaloErrorsAndScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomDAGProgram(rng, 0)
+	h, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.InputExtentsK(p.StepInputs[0], 0); err == nil {
+		t.Error("InputExtentsK accepted k=0")
+	}
+	if _, err := h.InputExtentsK("no-such-input", 2); err == nil {
+		t.Error("InputExtentsK accepted a non-step-input feedback")
+	}
+	if got, err := h.InputExtentsK(p.StepInputs[0], 1); err != nil {
+		t.Fatal(err)
+	} else {
+		for name, want := range h.InputExtents {
+			if got[name] != want {
+				t.Errorf("InputExtentsK(.., 1)[%s] = %v, want one-step %v", name, got[name], want)
+			}
+		}
+	}
+	e := Extent{ILo: 1, IHi: 2, JLo: 0, JHi: 3, KLo: 2, KHi: 0}
+	if got := e.Scale(0); !got.IsZero() {
+		t.Errorf("Scale(0) = %v, want zero", got)
+	}
+	if got := e.Scale(1); got != e {
+		t.Errorf("Scale(1) = %v, want %v", got, e)
+	}
+	if got, want := e.Scale(4), e.Add(e).Add(e).Add(e); got != want {
+		t.Errorf("Scale(4) = %v, want 4-fold Add %v", got, want)
+	}
+}
+
 // TestHaloWidthFusionInvariant: the step-input halo width is a property of
 // the program, not of the execution grouping. The unfused (singleton) plan
 // composes to exactly the stage-level width; the greedy fused plan, which

@@ -57,6 +57,13 @@ type Program struct {
 	Stages     []Stage
 	// Output is the name of the stage whose result is the step's output.
 	Output string
+	// Feedback optionally names the step input that receives the program
+	// output between successive time steps (psi for MPDATA). Executors may
+	// choose the feedback independently; declaring it here lets planners
+	// that never build an executor — the machine model, the advisor —
+	// reason about multi-step halo growth (InputExtentsK, the k-step
+	// temporal blocking of exec.Config.KSteps).
+	Feedback string
 }
 
 // StageIndex returns the position of the named stage, or -1.
@@ -120,6 +127,9 @@ func (p *Program) Validate() error {
 	if p.StageIndex(p.Output) < 0 {
 		return fmt.Errorf("stencil: output %q is not a stage", p.Output)
 	}
+	if p.Feedback != "" && !p.IsStepInput(p.Feedback) {
+		return fmt.Errorf("stencil: feedback %q is not a step input", p.Feedback)
+	}
 	return nil
 }
 
@@ -151,6 +161,20 @@ func (e Extent) Add(o Extent) Extent {
 
 // IsZero reports whether the extent requires no halo.
 func (e Extent) IsZero() bool { return e == Extent{} }
+
+// Scale composes the extent with itself n times (n >= 0): the halo of n
+// consecutive applications of the same per-step requirement. Scale(0) is the
+// zero extent, Scale(1) is e itself.
+func (e Extent) Scale(n int) Extent {
+	if n < 0 {
+		panic(fmt.Sprintf("stencil: Extent.Scale(%d)", n))
+	}
+	return Extent{
+		n * e.ILo, n * e.IHi,
+		n * e.JLo, n * e.JHi,
+		n * e.KLo, n * e.KHi,
+	}
+}
 
 // Apply grows region r by the extent.
 func (e Extent) Apply(r grid.Region) grid.Region {
@@ -255,6 +279,40 @@ func Analyze(p *Program) (*HaloAnalysis, error) {
 		}
 	}
 	return h, nil
+}
+
+// InputExtentsK returns the k-step input extents: the halo each step input
+// must cover so the program can run k uninterrupted steps — the output re-fed
+// into the feedback input between inner steps, without refreshing any input
+// from outside — and still produce the final step's output exactly on a
+// target region. Writing fext for the feedback input's one-step extent, the
+// j-th step from the end needs its predecessor's output on fext applied j
+// times, so the feedback input compounds to fext.Scale(k) and every other
+// input a, re-read by all k steps, to InputExtents[a].Add(fext.Scale(k-1)).
+// This is exactly the one-step analysis of the program unrolled k times
+// (TestKStepHaloMatchesUnrolledProgram pins the equivalence), and it is what
+// sizes the private buffers and halo strips of exec's temporal blocking.
+//
+// The feedback input must be declared (Program.Feedback or the feedback
+// argument of the executor); k must be at least 1. InputExtentsK(_, 1)
+// equals InputExtents.
+func (h *HaloAnalysis) InputExtentsK(feedback string, k int) (map[string]Extent, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("stencil: InputExtentsK needs k >= 1, got %d", k)
+	}
+	if !h.Program.IsStepInput(feedback) {
+		return nil, fmt.Errorf("stencil: feedback %q is not a step input of %q", feedback, h.Program.Name)
+	}
+	fext := h.InputExtents[feedback] // zero if the program never reads it
+	out := make(map[string]Extent, len(h.InputExtents))
+	for name, e := range h.InputExtents {
+		if name == feedback {
+			out[name] = fext.Scale(k)
+		} else {
+			out[name] = e.Add(fext.Scale(k - 1))
+		}
+	}
+	return out, nil
 }
 
 // StageRegion returns the region on which stage s must be computed so that

@@ -104,6 +104,14 @@ type Config struct {
 	// core becomes a sub-island with private redundant trapezoids and no
 	// intra-block synchronization — the paper's §6 future work.
 	CoreIslands bool
+	// KSteps, when > 1, temporally blocks the island strategies: every
+	// island advances KSteps full time steps on its private buffers
+	// (redundant trapezoidal halo compute shrinking step by step) between
+	// global joins, so barriers and halo exchanges are paid once per block
+	// instead of once per step. 0 or 1 means no temporal blocking.
+	// Infeasible requests run at k=1 and record the reason in the compiled
+	// schedule (exec.ScheduleStats.KStepFallbackReason).
+	KSteps int
 	// IORD selects the MPDATA order (number of passes); 0 means the
 	// paper's default of 2. Higher orders append corrective stage groups.
 	IORD int
@@ -139,6 +147,7 @@ func (c Config) execConfig() (exec.Config, error) {
 		BlockI:      c.BlockI,
 		IslandGrid:  c.IslandGrid,
 		CoreIslands: c.CoreIslands,
+		KSteps:      c.KSteps,
 	}, nil
 }
 
@@ -148,7 +157,9 @@ type Simulation struct {
 	// OnStep, when set, is invoked after every completed time step with
 	// the zero-based step index; the state is fully published at that
 	// point. Use it to update time-dependent velocities (via the State
-	// setters) or to record diagnostics.
+	// setters) or to record diagnostics. Under temporal blocking
+	// (Config.KSteps > 1) it fires once per k-step block, with the index
+	// of the block's last completed step.
 	OnStep func(step int)
 
 	cfg    Config

@@ -1,7 +1,10 @@
 #!/bin/sh
 # bench.sh — run the compute benchmarks and append the results to
 # BENCH_compute.json (the repository's performance trajectory; see
-# docs/PERFORMANCE.md). Usage:
+# docs/PERFORMANCE.md). The sweep includes the temporal-blocking ablation
+# (BenchmarkCompute{Islands,CoreIslands}K{1,2,4,8}), whose per-arm
+# "modeled-speedup-x" metric records the paper machine's predicted payoff
+# of k-step blocking next to the measured host numbers. Usage:
 #
 #   scripts/bench.sh [label]
 #
