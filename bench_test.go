@@ -18,6 +18,7 @@ package islands
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"islands/internal/decomp"
 	"islands/internal/exec"
@@ -25,6 +26,7 @@ import (
 	"islands/internal/mpdata"
 	"islands/internal/stencil"
 	"islands/internal/topology"
+	"islands/internal/tune"
 )
 
 var paperGrid = grid.Sz(1024, 512, 64)
@@ -362,6 +364,110 @@ func BenchmarkComputeCoreIslandsK8(b *testing.B) { kstepBench(b, true, 8) }
 // instead of 7). The gap to BenchmarkComputeIslands is the fusion payoff.
 func BenchmarkComputeIslandsNoFuse(b *testing.B) {
 	computeBench(b, exec.IslandsOfCores, false, true)
+}
+
+// BenchmarkComputeTuned runs the autotuner's chosen configuration for the
+// standard compute shape (the BenchmarkComputeIslands grid on 2 sockets).
+// Before the timer starts it calibrates the top modeled candidates with
+// short real runs — the one-shot tuning mode — including the default
+// islands arm as the incumbent, so the winner is never worse than default
+// by construction. Custom metrics record the chosen knobs (tuned-blocki,
+// tuned-ksteps) and the measured advantage over the default islands arm
+// (tuned-vs-default-x >= 1 within noise). The timed loop itself is the
+// usual alloc-free dispatch.
+func BenchmarkComputeTuned(b *testing.B) {
+	domain := grid.Sz(128, 64, 16)
+	m, err := topology.UV2000(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kp := mpdata.NewProgram()
+	prog := &kp.Program
+	class := tune.Class{Domain: domain, Processors: 2, Boundary: stencil.Clamp, IORD: 2}
+	tn, err := tune.New(tune.Options{Seed: 1, TopM: 6, Seeder: func(tune.Class) ([]tune.Candidate, error) {
+		return tune.SeedCandidates(m, prog, class)
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := class.BaseConfig(m)
+	const calibSteps = 2 // timed steps per candidate: cheap enough for -benchtime 1x CI smoke
+	measure := func(k tune.Knobs) (tune.Observation, error) {
+		cfg := tune.ApplyKnobs(base, k)
+		kblock := max(k.KSteps, 1)
+		cfg.Steps = kblock
+		state := mpdata.NewState(domain)
+		state.SetGaussian(64, 32, 8, 4, 1, 0.1)
+		state.SetUniformVelocity(0.2, 0.1, 0.05)
+		r, err := exec.NewRunner(cfg, kp, state.InputMap(), mpdata.InPsi)
+		if err != nil {
+			return tune.Observation{}, err
+		}
+		defer r.Close()
+		if err := r.Run(); err != nil { // warm-up block
+			return tune.Observation{}, err
+		}
+		reps := (calibSteps + kblock - 1) / kblock
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := r.Run(); err != nil {
+				return tune.Observation{}, err
+			}
+		}
+		n := reps * kblock
+		return tune.Observation{StepSeconds: time.Since(t0).Seconds() / float64(n), Steps: n}, nil
+	}
+
+	// The default islands arm (BenchmarkComputeIslands' config) is the
+	// incumbent: measure it first so the tuner can never pick worse.
+	def := tune.KnobsOf(exec.Config{
+		Machine: m, Strategy: exec.IslandsOfCores, Boundary: stencil.Clamp, BlockI: 16, Steps: 1,
+	}, domain)
+	defObs, err := measure(def)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defObs.Knobs = def
+	tn.Observe(class, defObs)
+	const stepsPerOp = 8 // feasibility window: admits k in {1,2,4,8}
+	dec, err := tn.Calibrate(class, def, stepsPerOp, measure)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tunedStep := defObs.StepSeconds
+	for _, c := range tn.Snapshot(class) {
+		if c.Knobs == dec.Knobs && c.Obs > 0 {
+			tunedStep = c.MeasuredStep
+		}
+	}
+
+	cfg := tune.ApplyKnobs(base, dec.Knobs)
+	kblock := max(dec.Knobs.KSteps, 1)
+	cfg.Steps = kblock
+	state := mpdata.NewState(domain)
+	state.SetGaussian(64, 32, 8, 4, 1, 0.1)
+	state.SetUniformVelocity(0.2, 0.1, 0.05)
+	runner, err := exec.NewRunner(cfg, kp, state.InputMap(), mpdata.InPsi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	if err := runner.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(domain.Cells())*float64(kblock)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+	b.ReportMetric(float64(dec.Knobs.BlockI), "tuned-blocki")
+	b.ReportMetric(float64(kblock), "tuned-ksteps")
+	if tunedStep > 0 {
+		b.ReportMetric(defObs.StepSeconds/tunedStep, "tuned-vs-default-x")
+	}
 }
 
 // BenchmarkReferenceSolver measures the sequential reference MPDATA step.

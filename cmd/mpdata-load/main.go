@@ -65,6 +65,16 @@ type jobOutcome struct {
 	err      string
 	latency  time.Duration
 	cacheHit bool
+	// requested/tuned are the server's config labels; tuned is empty when
+	// no tuner decided for the job.
+	requested string
+	tuned     string
+	explored  bool
+	// silentKFallback marks a job that ran at a different temporal-blocking
+	// factor than requested without the server reporting either a tuned
+	// substitution or the executor's fallback reason — a contract violation
+	// the load generator turns into a non-zero exit.
+	silentKFallback bool
 }
 
 func main() {
@@ -77,6 +87,8 @@ func main() {
 	steps := flag.Int("steps", 5, "time steps per job")
 	p := flag.Int("p", 2, "simulated UV 2000 sockets per job")
 	strategies := flag.String("strategies", "original,3+1d,islands,islands+core", "comma-separated strategy rotation (suffix +core for core islands)")
+	ksteps := flag.Int("ksteps", 0, "temporal blocking factor requested per job (islands strategies only)")
+	pin := flag.Bool("pin", false, "pin jobs to the requested config (opt out of server-side autotuning)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job wait timeout")
 	flag.Parse()
 
@@ -89,7 +101,7 @@ func main() {
 	}
 	// Validate the spec template once, client-side, with the same helper
 	// the server uses — a bad flag fails fast instead of 100 times.
-	template := serve.Spec{Grid: *gridFlag, Steps: *steps, Processors: *p}
+	template := serve.Spec{Grid: *gridFlag, Steps: *steps, Processors: *p, KSteps: *ksteps, Pin: *pin}
 	for _, w := range loads {
 		s := template
 		s.Strategy = w.strategy
@@ -136,9 +148,9 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	failed := summarize(outcomes, elapsed, rejected.Load())
+	failed, silent := summarize(outcomes, elapsed, rejected.Load())
 	printServerMetrics(ctx, client)
-	if failed > 0 {
+	if failed > 0 || silent > 0 {
 		os.Exit(1)
 	}
 }
@@ -173,18 +185,31 @@ func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, na
 		return jobOutcome{strategy: name, state: serve.StateFailed, err: fmt.Sprintf("wait: %v", err)}
 	}
 	out := jobOutcome{strategy: name, state: final.State, err: final.Error, latency: time.Since(t0)}
-	if final.Result != nil {
-		out.cacheHit = final.Result.CacheHit
+	if r := final.Result; r != nil {
+		out.cacheHit = r.CacheHit
+		out.requested = r.RequestedConfig
+		out.tuned = r.TunedConfig
+		out.explored = r.Explored
+		// The silent-fallback gate: the engine compiled a different k than
+		// requested, no tuner substitution explains it, and the executor's
+		// fallback reason is missing.
+		want := max(spec.KSteps, 1)
+		if r.KSteps != 0 && r.KSteps != want && !r.Tuned && !r.Explored && r.KStepFallback == "" {
+			out.silentKFallback = true
+		}
 	}
 	return out
 }
 
 // summarize prints the aggregate and per-strategy report; returns the number
-// of jobs that did not succeed.
-func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) int {
-	var ok, failed, canceled, hits int
+// of jobs that did not succeed and the number that hit the silent k-step
+// fallback gate (both fail the run).
+func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) (failed, silent int) {
+	var ok, canceled, hits, explored int
 	latencies := make([]time.Duration, 0, len(outcomes))
 	perStrategy := map[string][]time.Duration{}
+	// configs counts requested -> served config pairs per strategy arm.
+	configs := map[string]map[string]int{}
 	for _, o := range outcomes {
 		switch o.state {
 		case serve.StateSucceeded:
@@ -193,6 +218,27 @@ func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) int
 			perStrategy[o.strategy] = append(perStrategy[o.strategy], o.latency)
 			if o.cacheHit {
 				hits++
+			}
+			if o.explored {
+				explored++
+			}
+			if o.requested != "" {
+				served := o.tuned
+				if served == "" {
+					served = o.requested
+				}
+				line := o.requested
+				if served != o.requested {
+					line = o.requested + "  ->  " + served
+				}
+				if configs[o.strategy] == nil {
+					configs[o.strategy] = map[string]int{}
+				}
+				configs[o.strategy][line]++
+			}
+			if o.silentKFallback {
+				silent++
+				log.Printf("SILENT K-STEP FALLBACK [%s]: engine ran a different ksteps than requested with no fallback reason", o.strategy)
 			}
 		case serve.StateCanceled:
 			canceled++
@@ -217,8 +263,22 @@ func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) int
 	for _, name := range names {
 		ls := perStrategy[name]
 		fmt.Printf("  %-16s %3d jobs  p50 %s  max %s\n", name, len(ls), pct(ls, 50), pct(ls, 100))
+		lines := make([]string, 0, len(configs[name]))
+		for line := range configs[name] {
+			lines = append(lines, line)
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			fmt.Printf("      %3d x %s\n", configs[name][line], line)
+		}
 	}
-	return failed
+	if explored > 0 {
+		fmt.Printf("tuner exploration probes: %d jobs\n", explored)
+	}
+	if silent > 0 {
+		fmt.Printf("silent k-step fallbacks: %d jobs (failing the run)\n", silent)
+	}
+	return failed, silent
 }
 
 // pct returns the q-th percentile of the (unsorted) latencies.
@@ -248,6 +308,8 @@ func printServerMetrics(ctx context.Context, client *serveclient.Client) {
 		"serve_jobs_succeeded_total", "serve_jobs_failed_total",
 		"serve_jobs_rejected_total",
 		"serve_schedule_cache_hits_total", "serve_schedule_cache_misses_total",
+		"serve_tuner_decisions_total", "serve_tuner_tuned_total",
+		"serve_tuner_explored_total",
 	} {
 		if v, found := serveclient.MetricValue(m, series); found {
 			fmt.Printf("server %s %g\n", series, v)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"islands/internal/serve"
+	"islands/internal/tune"
 )
 
 func main() {
@@ -49,13 +50,37 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "admission queue depth before 429 rejection")
 	retryAfter := flag.Duration("retry-after", time.Second, "backoff hinted to rejected clients")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain window on SIGTERM")
+	tuneOn := flag.Bool("tune", false, "autotune: map non-pinned jobs to the best-known config for their problem class (docs/TUNING.md)")
+	tuneSeed := flag.Int64("tune-seed", 1, "autotuner random seed (reproducible exploration)")
+	tuneEpsilon := flag.Float64("tune-epsilon", 0.1, "exploration probability per tuning decision (0 disables exploration)")
+	tuneExplore := flag.Float64("tune-explore", 0.1, "cap on the fraction of served steps spent exploring")
 	flag.Parse()
+
+	var tuner *tune.Tuner
+	if *tuneOn {
+		eps := *tuneEpsilon
+		if eps == 0 {
+			eps = -1 // NewTuner: negative disables, zero means default
+		}
+		var err error
+		tuner, err = serve.NewTuner(serve.TunerOptions{
+			Seed:        *tuneSeed,
+			Epsilon:     eps,
+			ExploreFrac: *tuneExplore,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("autotuner enabled (seed %d, epsilon %g, explore budget %g)",
+			*tuneSeed, *tuneEpsilon, *tuneExplore)
+	}
 
 	srv := serve.NewServer(serve.Options{
 		Slots:      *slots,
 		MaxCached:  *maxCached,
 		QueueDepth: *queueDepth,
 		RetryAfter: *retryAfter,
+		Tuner:      tuner,
 		Logf:       log.Printf,
 	})
 

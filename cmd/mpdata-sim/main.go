@@ -42,6 +42,8 @@ func main() {
 	variantFlag := flag.String("variant", "A", "1D island mapping variant (A = i dimension, B = j)")
 	compute := flag.Bool("compute", true, "run the real numerical computation")
 	advise := flag.Bool("advise", false, "price every strategy/mapping on the machine model and rank them")
+	tuneFlag := flag.Bool("tune", false, "one-shot autotune: enumerate, model and measure candidate configs for this problem and print the winner (docs/TUNING.md)")
+	tuneSeed := flag.Int64("tune-seed", 1, "autotuner random seed (-tune)")
 	counters := flag.Bool("counters", false, "print per-socket and per-link traffic counters for the modeled run")
 	modelTrace := flag.Bool("modeltrace", false, "print the simulated timeline of one step (model profiling)")
 	profile := flag.Bool("profile", false, "run every strategy with the runtime profiler and print per-phase, per-island and measured-vs-model tables")
@@ -115,6 +117,13 @@ func main() {
 		CoreIslands: *coreIslands,
 		KSteps:      *ksteps,
 		IORD:        *iord,
+	}
+
+	if *tuneFlag {
+		if err := runTune(domain, cfg, *tuneSeed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *advise {

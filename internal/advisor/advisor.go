@@ -7,14 +7,16 @@
 // Given a machine, a stencil program and a domain, the advisor prices every
 // sensible configuration — original, pure (3+1)D, islands with 1D (A/B) and
 // all 2D mappings, and core-level sub-islands — on the machine model and
-// ranks them, explaining each candidate's cost structure.
+// ranks them, explaining each candidate's cost structure. The candidate set
+// is exec.EnumerateCandidates with the advisor space — the same enumeration
+// the autotuner (internal/tune) seeds from, so the advice and the tuner's
+// model-seeded ranking can never disagree about what is feasible.
 package advisor
 
 import (
 	"fmt"
 	"sort"
 
-	"islands/internal/decomp"
 	"islands/internal/exec"
 	"islands/internal/grid"
 	"islands/internal/stencil"
@@ -52,106 +54,25 @@ func (c *Candidate) Rationale() string {
 }
 
 // Advise prices all candidate configurations and returns them sorted by
-// modeled time (fastest first).
+// modeled time (fastest first). The candidates are exec.EnumerateCandidates
+// over the advisor space: every feasible strategy/mapping at parallel first
+// touch, with feasible temporal-blocking factors k in {2,4,8} as extra arms
+// (an infeasible k would silently price as a k=1 twin and is skipped).
 func Advise(m *topology.Machine, prog *stencil.Program, domain grid.Size, steps int) ([]Candidate, error) {
 	if steps <= 0 {
 		return nil, fmt.Errorf("advisor: steps must be positive")
 	}
-	var out []Candidate
-	add := func(name string, cfg exec.Config) error {
-		cfg.Machine = m
-		cfg.Placement = grid.FirstTouchParallel
-		cfg.Steps = steps
+	base := exec.Config{Steps: steps, Placement: grid.FirstTouchParallel}
+	cfgs := exec.EnumerateCandidates(m, prog, domain, base, exec.AdvisorSpace())
+	out := make([]Candidate, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		name := exec.CandidateLabel(cfg)
 		r, err := exec.Model(cfg, prog, domain)
 		if err != nil {
-			return fmt.Errorf("advisor: pricing %s: %w", name, err)
+			return nil, fmt.Errorf("advisor: pricing %s: %w", name, err)
 		}
 		out = append(out, Candidate{Name: name, Config: cfg, Result: r})
-		return nil
 	}
-
-	if err := add("original", exec.Config{Strategy: exec.Original}); err != nil {
-		return nil, err
-	}
-	if err := add("(3+1)D", exec.Config{Strategy: exec.Plus31D}); err != nil {
-		return nil, err
-	}
-
-	// addK prices the temporally blocked variants of an islands candidate.
-	// The k-step plan is checked for feasibility first — an infeasible k
-	// silently runs (and would price) as k=1, which would only clutter the
-	// ranking with duplicates. k candidates are priced under the clamp
-	// boundary: a periodic wrap across island ownership always falls back.
-	addK := func(base string, cfg exec.Config) error {
-		for _, k := range []int{2, 4, 8} {
-			kcfg := cfg
-			kcfg.KSteps = k
-			kcfg.Boundary = stencil.Clamp
-			kcfg.Machine = m
-			kcfg.Placement = grid.FirstTouchParallel
-			kcfg.Steps = steps
-			if exec.CheckKSteps(kcfg, prog, domain) != nil {
-				continue
-			}
-			if err := add(fmt.Sprintf("%s k=%d", base, k), kcfg); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	p := m.NumNodes()
-	if p == 1 {
-		if err := add("islands", exec.Config{Strategy: exec.IslandsOfCores}); err != nil {
-			return nil, err
-		}
-		if err := addK("islands", exec.Config{Strategy: exec.IslandsOfCores}); err != nil {
-			return nil, err
-		}
-	} else {
-		// 1D mappings; skip a variant whose dimension cannot host p parts.
-		if domain.NI >= p {
-			if err := add("islands 1D-A", exec.Config{Strategy: exec.IslandsOfCores, Variant: decomp.VariantA}); err != nil {
-				return nil, err
-			}
-			if err := addK("islands 1D-A", exec.Config{Strategy: exec.IslandsOfCores, Variant: decomp.VariantA}); err != nil {
-				return nil, err
-			}
-		}
-		if domain.NJ >= p {
-			if err := add("islands 1D-B", exec.Config{Strategy: exec.IslandsOfCores, Variant: decomp.VariantB}); err != nil {
-				return nil, err
-			}
-		}
-		// Proper 2D factorizations.
-		for pi := 2; pi < p; pi++ {
-			if p%pi != 0 {
-				continue
-			}
-			pj := p / pi
-			if domain.NI < pi || domain.NJ < pj {
-				continue
-			}
-			if err := add(fmt.Sprintf("islands %dx%d", pi, pj),
-				exec.Config{Strategy: exec.IslandsOfCores, IslandGrid: [2]int{pi, pj}}); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// Core-level sub-islands on the 1D-A mapping.
-	if domain.NI >= p {
-		if err := add("islands + core sub-islands", exec.Config{
-			Strategy: exec.IslandsOfCores, Variant: decomp.VariantA, CoreIslands: true,
-		}); err != nil {
-			return nil, err
-		}
-		if err := addK("islands + core sub-islands", exec.Config{
-			Strategy: exec.IslandsOfCores, Variant: decomp.VariantA, CoreIslands: true,
-		}); err != nil {
-			return nil, err
-		}
-	}
-
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time() < out[j].Time() })
 	return out, nil
 }

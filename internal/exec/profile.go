@@ -80,6 +80,52 @@ func (ip IslandProfile) ImbalancePct() float64 {
 	return 100 * float64(ip.MaxWorker-ip.MinWorker) / float64(ip.MaxWorker)
 }
 
+// ProfileSummary condenses a runtime profile into the plain numbers the
+// autotuner's objective consumes: mean per-step wall time, the phase totals
+// normalized per step, the barrier share, and the worst per-island compute
+// imbalance. All durations are in seconds.
+type ProfileSummary struct {
+	// Steps is the number of profiled steps the summary averages over.
+	Steps int
+	// StepSeconds is the mean driver-side wall time of one step.
+	StepSeconds float64
+	// ComputeSeconds, SpinSeconds and ParkSeconds are the per-step phase
+	// totals summed over all workers (worker-seconds per step).
+	ComputeSeconds, SpinSeconds, ParkSeconds float64
+	// BarrierSharePct is (spin+park) / (compute+spin+park) * 100 — how much
+	// of the workers' time goes to waiting rather than computing.
+	BarrierSharePct float64
+	// MaxImbalancePct is the worst per-island relative compute imbalance
+	// (IslandProfile.ImbalancePct) — the tuner's tie-breaker.
+	MaxImbalancePct float64
+}
+
+// Summary condenses the profile into per-step scalars (zero value for an
+// empty profile).
+func (p *Profile) Summary() ProfileSummary {
+	var s ProfileSummary
+	if p == nil || p.Steps == 0 {
+		return s
+	}
+	s.Steps = p.Steps
+	inv := 1 / float64(p.Steps)
+	s.StepSeconds = p.Wall.Seconds() * inv
+	for _, ph := range p.Phases {
+		s.ComputeSeconds += ph.Compute.Seconds() * inv
+		s.SpinSeconds += ph.Spin.Seconds() * inv
+		s.ParkSeconds += ph.Park.Seconds() * inv
+	}
+	if busy := s.ComputeSeconds + s.SpinSeconds + s.ParkSeconds; busy > 0 {
+		s.BarrierSharePct = 100 * (s.SpinSeconds + s.ParkSeconds) / busy
+	}
+	for _, ip := range p.Islands {
+		if imb := ip.ImbalancePct(); imb > s.MaxImbalancePct {
+			s.MaxImbalancePct = imb
+		}
+	}
+	return s
+}
+
 // traceEvent is one recorded schedule item execution (trace mode only).
 type traceEvent struct {
 	phase int32

@@ -31,8 +31,20 @@ type Engine interface {
 	SetProfiling(on bool)
 	// Profile returns the aggregated runtime profile (nil when off).
 	Profile() *exec.Profile
+	// Info reports compiled-schedule facts the job result surfaces: the
+	// effective temporal-blocking factor and the fallback reason when a
+	// requested k was dropped to 1.
+	Info() EngineInfo
 	// Close releases the engine's work teams.
 	Close()
+}
+
+// EngineInfo is the compiled schedule's effective temporal blocking: KSteps
+// as actually compiled, plus the executor's reason when a requested factor
+// fell back to 1 — what the mpdata-load silent-fallback gate audits.
+type EngineInfo struct {
+	KSteps        int    `json:"ksteps"`
+	KStepFallback string `json:"kstep_fallback,omitempty"`
 }
 
 // EngineFactory builds an engine for a normalized spec. The server's default
@@ -159,6 +171,12 @@ func (e *mpdataEngine) SetProfiling(on bool) {
 
 // Profile returns the runner's aggregated profile (nil when off).
 func (e *mpdataEngine) Profile() *exec.Profile { return e.runner.Profile() }
+
+// Info reports the compiled schedule's effective temporal blocking.
+func (e *mpdataEngine) Info() EngineInfo {
+	sch := e.runner.Schedule()
+	return EngineInfo{KSteps: sch.KSteps(), KStepFallback: sch.KStepFallbackReason()}
+}
 
 // Close releases the runner's work teams.
 func (e *mpdataEngine) Close() { e.runner.Close() }

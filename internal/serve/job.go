@@ -56,6 +56,24 @@ type Result struct {
 	QueueMs float64 `json:"queue_ms"`
 	// CacheHit reports whether the job reused a cached compiled schedule.
 	CacheHit bool `json:"cache_hit"`
+	// RequestedConfig and TunedConfig name the configuration the client
+	// asked for and the one the job actually ran (advisor-style labels);
+	// TunedConfig is present only when a tuner decided for the job.
+	RequestedConfig string `json:"requested_config,omitempty"`
+	TunedConfig     string `json:"tuned_config,omitempty"`
+	// Tuned reports that the tuner substituted a different knob
+	// combination than requested; Explored that the job ran as an
+	// exploration probe rather than the best-known configuration.
+	Tuned    bool `json:"tuned,omitempty"`
+	Explored bool `json:"explored,omitempty"`
+	// TuneReason explains the tuner's choice: "measured", "model",
+	// "explore", "requested", or a seed error.
+	TuneReason string `json:"tune_reason,omitempty"`
+	// KSteps is the temporal-blocking factor the engine actually compiled;
+	// KStepFallback carries the executor's reason when a requested k > 1
+	// fell back to 1 (the mpdata-load silent-fallback gate audits these).
+	KSteps        int    `json:"ksteps,omitempty"`
+	KStepFallback string `json:"kstep_fallback,omitempty"`
 	// Profile, when the spec requested it, embeds the same per-phase
 	// breakdown mpdata-sim -profile prints.
 	Profile *ProfileReport `json:"profile,omitempty"`

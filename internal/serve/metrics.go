@@ -44,6 +44,11 @@ type Metrics struct {
 	Canceled  atomic.Uint64
 	StepsRun  atomic.Uint64 // completed time steps across all jobs
 
+	// TunerPinned counts jobs that opted out of autotuning (spec pin);
+	// the remaining tuner counters live in the tuner itself and are read
+	// at exposition time.
+	TunerPinned atomic.Uint64
+
 	mu    sync.Mutex
 	steps map[string]*histogram // per-strategy step latency
 }
@@ -77,6 +82,15 @@ type gauges struct {
 	CacheEvicted  uint64
 	Running       int
 	Draining      bool
+
+	// Tuner counters, snapshotted from tune.Tuner.Counters() (all zero
+	// when no tuner is configured).
+	TunerEnabled    bool
+	TunerDecisions  uint64
+	TunerTuned      uint64
+	TunerExplored   uint64
+	TunerSeedErrors uint64
+	TunerClasses    int
 }
 
 // write renders the Prometheus text exposition format.
@@ -107,6 +121,17 @@ func (m *Metrics) write(w io.Writer, g gauges) {
 		draining = 1
 	}
 	gauge("serve_draining", "1 while the server drains (no admissions).", draining)
+	enabled := int64(0)
+	if g.TunerEnabled {
+		enabled = 1
+	}
+	gauge("serve_tuner_enabled", "1 when the autotuner maps job specs to tuned configs.", enabled)
+	c("serve_tuner_decisions_total", "Tuning decisions taken for served jobs.", g.TunerDecisions)
+	c("serve_tuner_tuned_total", "Decisions that substituted a different config than requested.", g.TunerTuned)
+	c("serve_tuner_explored_total", "Decisions that ran an exploration probe.", g.TunerExplored)
+	c("serve_tuner_pinned_total", "Jobs that opted out of tuning via spec pin.", m.TunerPinned.Load())
+	c("serve_tuner_seed_errors_total", "Problem classes whose candidate seeding failed (passthrough).", g.TunerSeedErrors)
+	gauge("serve_tuner_classes", "Distinct problem classes the tuner has seen.", int64(g.TunerClasses))
 
 	fmt.Fprintf(w, "# HELP serve_step_seconds Per-step wall latency by strategy.\n# TYPE serve_step_seconds histogram\n")
 	m.mu.Lock()

@@ -21,6 +21,7 @@ func (e *fakeEngine) Abort(string)           {}
 func (e *fakeEngine) Checksums() Checksums   { return Checksums{} }
 func (e *fakeEngine) SetProfiling(bool)      {}
 func (e *fakeEngine) Profile() *exec.Profile { return nil }
+func (e *fakeEngine) Info() EngineInfo       { return EngineInfo{KSteps: 1} }
 func (e *fakeEngine) Close()                 { e.closed.Store(true) }
 
 func fakeFactory(builds *atomic.Int64) EngineFactory {

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"islands/internal/tune"
 )
 
 // ErrDraining rejects submissions while the server drains (HTTP 503).
@@ -28,6 +30,11 @@ type Options struct {
 	// EngineFactory builds execution engines (nil = NewMPDATAEngine).
 	// Tests substitute deterministic or failure-injecting engines.
 	EngineFactory EngineFactory
+	// Tuner, when set, maps every non-pinned job to the best-known knob
+	// combination for its problem class before the engine lease (NewTuner
+	// builds the standard model-seeded one). Nil serves requests exactly
+	// as specified.
+	Tuner *tune.Tuner
 	// Logf receives operational log lines (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -40,6 +47,7 @@ type Server struct {
 	pool    *Pool
 	queue   *queue
 	metrics *Metrics
+	tuner   *tune.Tuner
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -66,6 +74,7 @@ func NewServer(opts Options) *Server {
 		pool:    NewPool(opts.Slots, opts.MaxCached, opts.EngineFactory),
 		queue:   newQueue(opts.QueueDepth, opts.RetryAfter),
 		metrics: newMetrics(),
+		tuner:   opts.Tuner,
 		jobs:    make(map[string]*Job),
 	}
 	for i := 0; i < s.pool.Capacity(); i++ {
@@ -169,7 +178,11 @@ func (s *Server) runJob(j *Job) {
 	defer s.running.Add(-1)
 
 	queueWait := j.started.Sub(j.created)
-	lease, err := s.pool.Acquire(j.ctx, j.ns)
+	// With a tuner, the engine lease happens under the tuned (canonical)
+	// spec: the cache stores the best-known configuration for the class,
+	// never the same physical engine under requested and tuned keys.
+	tuned, dec := s.tuneSpec(j.ns)
+	lease, err := s.pool.Acquire(j.ctx, tuned)
 	if err != nil {
 		if j.ctx.Err() != nil {
 			s.finishJob(j, j.terminalOnCancel(), j.cancelCause(), nil)
@@ -178,19 +191,45 @@ func (s *Server) runJob(j *Job) {
 		}
 		return
 	}
-	reuse := s.executeJob(j, lease, queueWait)
+	reuse, state, errMsg, result := s.executeJob(j, lease, tuned, dec, queueWait)
+	// Release before the terminal transition: once a job reports done, a
+	// healthy engine is already back in the cache, so an immediate follow-up
+	// job with the same key hits instead of compiling a duplicate.
 	lease.Release(reuse)
+	s.finishJob(j, state, errMsg, result)
+}
+
+// tuneSpec maps a job's spec to the configuration it should run as. Without
+// a tuner (or for a pinned job) the spec passes through untouched; with one,
+// even an identity decision canonicalizes the knobs (auto BlockI becomes its
+// explicit width) so cache keys cannot alias.
+func (s *Server) tuneSpec(ns NormSpec) (NormSpec, *tune.Decision) {
+	if s.tuner == nil {
+		return ns, nil
+	}
+	if ns.Pin {
+		s.metrics.TunerPinned.Add(1)
+		return ns, nil
+	}
+	req, ok := requestedKnobs(ns)
+	if !ok {
+		return ns, nil
+	}
+	dec := s.tuner.Decide(classOf(ns), req, ns.Steps)
+	return applyKnobs(ns, dec.Knobs), &dec
 }
 
 // executeJob drives the engine through the job's steps, reporting progress
 // and watching the job context so a cancellation or deadline aborts an
 // in-flight step through the engine's barrier-abort path. It returns whether
-// the engine stayed healthy (reusable).
-func (s *Server) executeJob(j *Job, lease *Lease, queueWait time.Duration) (reuse bool) {
+// the engine stayed healthy (reusable) plus the job's terminal transition,
+// which the caller performs after releasing the lease. tuned is the spec the
+// engine was leased under (identical to j.ns without a tuner); dec is the
+// tuner's decision, nil when no tuner decided for this job.
+func (s *Server) executeJob(j *Job, lease *Lease, tuned NormSpec, dec *tune.Decision, queueWait time.Duration) (reuse bool, state JobState, errMsg string, result *Result) {
 	eng := lease.Engine()
 	if err := eng.Reset(); err != nil {
-		s.finishJob(j, StateFailed, err.Error(), nil)
-		return false
+		return false, StateFailed, err.Error(), nil
 	}
 	if j.ns.Profile {
 		eng.SetProfiling(true)
@@ -211,13 +250,14 @@ func (s *Server) executeJob(j *Job, lease *Lease, queueWait time.Duration) (reus
 		}
 	}()
 
-	label := j.ns.StrategyName()
+	label := tuned.StrategyName()
 	var runErr error
 	start := time.Now()
 	steps := 0
 	// One engine Step is one dispatch unit: a whole k-step block under
-	// temporal blocking (Normalize guarantees stride divides Steps).
-	stride := j.ns.StepsPerDispatch()
+	// temporal blocking (Normalize — and the tuner's feasibility filter —
+	// guarantee the stride divides Steps).
+	stride := tuned.StepsPerDispatch()
 	for st := 0; st < j.ns.Steps; st += stride {
 		if j.ctx.Err() != nil {
 			break
@@ -238,32 +278,52 @@ func (s *Server) executeJob(j *Job, lease *Lease, queueWait time.Duration) (reus
 	case j.ctx.Err() != nil:
 		// Canceled or expired — even if the abort raced a completed step,
 		// the engine's barriers may be poisoned, so never reuse it.
-		s.finishJob(j, j.terminalOnCancel(), j.cancelCause(), nil)
-		return false
+		return false, j.terminalOnCancel(), j.cancelCause(), nil
 	case runErr != nil:
 		// Worker failures surface verbatim: the error carries the
 		// original kernel panic (exec's sticky failure path).
-		s.finishJob(j, StateFailed, runErr.Error(), nil)
-		return false
+		return false, StateFailed, runErr.Error(), nil
 	}
 
-	result := &Result{
-		Checksums: eng.Checksums(),
-		Strategy:  label,
-		Steps:     steps,
-		WallMs:    float64(wall.Nanoseconds()) / 1e6,
-		QueueMs:   float64(queueWait.Nanoseconds()) / 1e6,
-		CacheHit:  lease.Hit,
+	info := eng.Info()
+	result = &Result{
+		Checksums:       eng.Checksums(),
+		Strategy:        label,
+		Steps:           steps,
+		WallMs:          float64(wall.Nanoseconds()) / 1e6,
+		QueueMs:         float64(queueWait.Nanoseconds()) / 1e6,
+		CacheHit:        lease.Hit,
+		RequestedConfig: j.ns.ConfigLabel(),
+		KSteps:          info.KSteps,
+		KStepFallback:   info.KStepFallback,
 	}
 	if steps > 0 {
 		result.StepMsAvg = result.WallMs / float64(steps)
 	}
+	if dec != nil {
+		result.TunedConfig = tuned.ConfigLabel()
+		result.Tuned = dec.Tuned
+		result.Explored = dec.Explore
+		result.TuneReason = dec.Reason
+	}
+	var imbalance float64
 	if j.ns.Profile {
 		result.Profile = profileReport(label, eng)
+		if prof := eng.Profile(); prof != nil {
+			imbalance = prof.Summary().MaxImbalancePct
+		}
 		eng.SetProfiling(false)
 	}
-	s.finishJob(j, StateSucceeded, "", result)
-	return true
+	if s.tuner != nil && dec != nil && steps > 0 {
+		s.tuner.Observe(classOf(j.ns), tune.Observation{
+			Knobs:        dec.Knobs,
+			StepSeconds:  wall.Seconds() / float64(steps),
+			ImbalancePct: imbalance,
+			Steps:        steps,
+			Explored:     dec.Explore,
+		})
+	}
+	return true, StateSucceeded, "", result
 }
 
 // terminalOnCancel maps a canceled job to its terminal state: canceled for
@@ -578,6 +638,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CacheEvicted:  ps.Evictions,
 		Running:       int(s.running.Load()),
 		Draining:      s.draining.Load(),
+	}
+	if s.tuner != nil {
+		tc := s.tuner.Counters()
+		g.TunerEnabled = true
+		g.TunerDecisions = tc.Decisions
+		g.TunerTuned = tc.Tuned
+		g.TunerExplored = tc.Explored
+		g.TunerSeedErrors = tc.SeedErrors
+		g.TunerClasses = tc.Classes
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, g)

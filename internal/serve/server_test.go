@@ -94,6 +94,7 @@ func (e *gatedEngine) Abort(reason string) {
 func (e *gatedEngine) Checksums() serve.Checksums { return serve.Checksums{Sum: 1} }
 func (e *gatedEngine) SetProfiling(bool)          {}
 func (e *gatedEngine) Profile() *exec.Profile     { return nil }
+func (e *gatedEngine) Info() serve.EngineInfo     { return serve.EngineInfo{KSteps: 1} }
 func (e *gatedEngine) Close()                     {}
 
 // gatedFactory builds gated engines sharing one gate channel. Close the gate
@@ -178,6 +179,7 @@ func (e *boomEngine) Abort(reason string)        { e.r.Abort(reason) }
 func (e *boomEngine) Checksums() serve.Checksums { return serve.Checksums{} }
 func (e *boomEngine) SetProfiling(bool)          {}
 func (e *boomEngine) Profile() *exec.Profile     { return nil }
+func (e *boomEngine) Info() serve.EngineInfo     { return serve.EngineInfo{KSteps: 1} }
 func (e *boomEngine) Close()                     { e.r.Close() }
 
 // newBoomEngine compiles a real runner around a kernel that panics on the

@@ -69,6 +69,10 @@ type Spec struct {
 	DisableFusion bool `json:"disable_fusion,omitempty"`
 	// DisableHaloExchange forces the whole-part publish copies (ablation).
 	DisableHaloExchange bool `json:"disable_halo_exchange,omitempty"`
+	// Pin opts the job out of autotuning: it runs exactly as specified
+	// even when the server's tuner knows a faster configuration for the
+	// same problem class (docs/TUNING.md). No effect without a tuner.
+	Pin bool `json:"pin,omitempty"`
 	// Profile embeds the per-phase runtime breakdown (the same table
 	// mpdata-sim -profile prints) in the job result.
 	Profile bool `json:"profile,omitempty"`
@@ -93,6 +97,7 @@ type NormSpec struct {
 	BlockI              int
 	DisableFusion       bool
 	DisableHaloExchange bool
+	Pin                 bool
 	Profile             bool
 	TimeoutMs           int
 }
@@ -263,6 +268,7 @@ func (s Spec) Normalize() (NormSpec, error) {
 	n.BlockI = s.BlockI
 	n.DisableFusion = s.DisableFusion
 	n.DisableHaloExchange = s.DisableHaloExchange
+	n.Pin = s.Pin
 	n.Profile = s.Profile
 	if s.TimeoutMs < 0 {
 		return n, fmt.Errorf("timeout_ms must be non-negative, got %d", s.TimeoutMs)
@@ -362,3 +368,14 @@ func (n NormSpec) ExecConfig() (exec.Config, error) {
 // StepsPerDispatch is the number of time steps one engine Step advances: the
 // temporal block size, or 1 without temporal blocking.
 func (n NormSpec) StepsPerDispatch() int { return max(n.KSteps, 1) }
+
+// ConfigLabel names the spec's execution configuration in the advisor's
+// candidate vocabulary ("islands 1D-A k=4 b=16", ...) — the
+// requested-vs-tuned label of job results and load reports.
+func (n NormSpec) ConfigLabel() string {
+	ec, err := n.ExecConfig()
+	if err != nil {
+		return n.StrategyName()
+	}
+	return exec.CandidateLabel(ec)
+}
