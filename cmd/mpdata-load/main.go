@@ -1,27 +1,34 @@
-// Command mpdata-load drives an mpdata-serve instance with N concurrent
-// clients and prints a throughput/latency summary — the serving subsystem's
-// load generator and end-to-end smoke check.
+// Command mpdata-load drives an mpdata-serve replica or an mpdata-router
+// fleet with N concurrent clients and prints a throughput/latency summary —
+// the serving subsystem's load generator and end-to-end smoke check.
 //
 //	mpdata-serve -addr 127.0.0.1:8080 &
 //	mpdata-load -addr http://127.0.0.1:8080 -jobs 100 -concurrency 8
 //
 // Jobs rotate round-robin over -strategies (all four by default: original,
-// 3+1d, islands, islands+core). Admission-control rejections (429) are
-// retried with the server's Retry-After hint and counted. The exit status is
+// 3+1d, islands, islands+core) crossed with -grids, so a fleet sees mixed
+// traffic with several distinct engine cache keys. Admission-control
+// rejections (429/503) are retried through serveclient.BackoffPolicy — capped
+// exponential backoff with full jitter, the server's Retry-After hint as a
+// floor, and cancellation-aware sleeps — bounded by -retries. -slo reports
+// the fraction of successful jobs finishing inside the target latency, and
+// -json writes the summary for benchmark trajectories. The exit status is
 // non-zero if any job fails, so scripts can gate on it.
 package main
 
 import (
 	"context"
-	"errors"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"islands/internal/serve"
@@ -58,6 +65,24 @@ func parseWorkloads(s string) ([]workload, error) {
 	return out, nil
 }
 
+func parseGrids(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		g := strings.TrimSpace(part)
+		if g == "" {
+			continue
+		}
+		if _, err := serve.ParseGrid(g); err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no grids given")
+	}
+	return out, nil
+}
+
 // jobOutcome is one completed submission's accounting.
 type jobOutcome struct {
 	strategy string
@@ -65,6 +90,7 @@ type jobOutcome struct {
 	err      string
 	latency  time.Duration
 	cacheHit bool
+	reroutes int
 	// requested/tuned are the server's config labels; tuned is empty when
 	// no tuner decided for the job.
 	requested string
@@ -77,19 +103,48 @@ type jobOutcome struct {
 	silentKFallback bool
 }
 
+// summaryJSON is the -json report consumed by scripts/serve-bench.sh and the
+// BENCH_serve.json trajectory.
+type summaryJSON struct {
+	Label          string             `json:"label,omitempty"`
+	Jobs           int                `json:"jobs"`
+	OK             int                `json:"ok"`
+	Failed         int                `json:"failed"`
+	Canceled       int                `json:"canceled"`
+	RetriedRejects int64              `json:"retried_rejections"`
+	Reroutes       int                `json:"reroutes"`
+	WallSeconds    float64            `json:"wall_seconds"`
+	JobsPerSecond  float64            `json:"jobs_per_second"`
+	P50Ms          float64            `json:"p50_ms"`
+	P90Ms          float64            `json:"p90_ms"`
+	P99Ms          float64            `json:"p99_ms"`
+	MaxMs          float64            `json:"max_ms"`
+	CacheHits      int                `json:"cache_hits"`
+	CacheHitRate   float64            `json:"cache_hit_rate"`
+	SLOMs          float64            `json:"slo_ms,omitempty"`
+	SLOAttainment  float64            `json:"slo_attainment,omitempty"`
+	ServerMetrics  map[string]float64 `json:"server_metrics,omitempty"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mpdata-load: ")
-	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server or router base URL")
 	jobs := flag.Int("jobs", 100, "total jobs to run")
 	concurrency := flag.Int("concurrency", 8, "concurrent clients")
-	gridFlag := flag.String("grid", "48x32x8", "job domain size NIxNJxNK")
+	gridsFlag := flag.String("grids", "48x32x8", "comma-separated job domain sizes NIxNJxNK (rotated for mixed traffic)")
 	steps := flag.Int("steps", 5, "time steps per job")
 	p := flag.Int("p", 2, "simulated UV 2000 sockets per job")
 	strategies := flag.String("strategies", "original,3+1d,islands,islands+core", "comma-separated strategy rotation (suffix +core for core islands)")
 	ksteps := flag.Int("ksteps", 0, "temporal blocking factor requested per job (islands strategies only)")
 	pin := flag.Bool("pin", false, "pin jobs to the requested config (opt out of server-side autotuning)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job wait timeout")
+	retries := flag.Int("retries", 8, "max submission attempts per job (admission rejections)")
+	retryInitial := flag.Duration("retry-initial", 100*time.Millisecond, "base of the exponential retry backoff")
+	retryMax := flag.Duration("retry-max", 5*time.Second, "cap on the exponential retry component")
+	slo := flag.Duration("slo", 0, "target end-to-end latency; report attainment when set")
+	jsonPath := flag.String("json", "", "write the run summary as JSON to this file")
+	label := flag.String("label", "", "label recorded in the -json summary")
 	flag.Parse()
 
 	if *jobs <= 0 || *concurrency <= 0 {
@@ -99,20 +154,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Validate the spec template once, client-side, with the same helper
-	// the server uses — a bad flag fails fast instead of 100 times.
-	template := serve.Spec{Grid: *gridFlag, Steps: *steps, Processors: *p, KSteps: *ksteps, Pin: *pin}
+	grids, err := parseGrids(*gridsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Validate every (strategy, grid) template once, client-side, with the
+	// same helpers the server uses — a bad flag fails fast instead of 100
+	// times.
+	template := serve.Spec{Steps: *steps, Processors: *p, KSteps: *ksteps, Pin: *pin}
 	for _, w := range loads {
-		s := template
-		s.Strategy = w.strategy
-		s.CoreIslands = w.coreIslands
-		if err := s.Validate(); err != nil {
-			log.Fatalf("bad spec for %s: %v", w.name, err)
+		for _, g := range grids {
+			s := template
+			s.Strategy = w.strategy
+			s.CoreIslands = w.coreIslands
+			s.Grid = g
+			if err := s.Validate(); err != nil {
+				log.Fatalf("bad spec for %s @ %s: %v", w.name, g, err)
+			}
 		}
 	}
 
+	// Ctrl-C / SIGTERM cancels the root context: in-flight submissions stop
+	// mid-backoff instead of spinning against a server that is going away.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	client := serveclient.New(*addr)
-	ctx := context.Background()
 	if err := client.Healthz(ctx); err != nil {
 		log.Fatalf("server not healthy at %s: %v", *addr, err)
 	}
@@ -124,6 +191,12 @@ func main() {
 		outcomes []jobOutcome
 		wg       sync.WaitGroup
 	)
+	policy := serveclient.BackoffPolicy{
+		Initial:     *retryInitial,
+		Max:         *retryMax,
+		MaxAttempts: *retries,
+		OnRetry:     func(int, time.Duration, error) { rejected.Add(1) },
+	}
 	start := time.Now()
 	for c := 0; c < *concurrency; c++ {
 		wg.Add(1)
@@ -131,14 +204,15 @@ func main() {
 			defer wg.Done()
 			for {
 				n := next.Add(1) - 1
-				if n >= int64(*jobs) {
+				if n >= int64(*jobs) || ctx.Err() != nil {
 					return
 				}
 				w := loads[n%int64(len(loads))]
 				spec := template
 				spec.Strategy = w.strategy
 				spec.CoreIslands = w.coreIslands
-				out := runOne(ctx, client, spec, w.name, *timeout, &rejected)
+				spec.Grid = grids[(n/int64(len(loads)))%int64(len(grids))]
+				out := runOne(ctx, client, spec, w.name, *timeout, policy)
 				mu.Lock()
 				outcomes = append(outcomes, out)
 				mu.Unlock()
@@ -148,34 +222,25 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	failed, silent := summarize(outcomes, elapsed, rejected.Load())
-	printServerMetrics(ctx, client)
-	if failed > 0 || silent > 0 {
+	sum := summarize(outcomes, elapsed, rejected.Load(), *slo)
+	sum.Label = *label
+	sum.ServerMetrics = printServerMetrics(ctx, client)
+	if *jsonPath != "" {
+		if err := writeSummary(*jsonPath, sum); err != nil {
+			log.Fatalf("write -json summary: %v", err)
+		}
+	}
+	if sum.Failed > 0 {
 		os.Exit(1)
 	}
 }
 
-// runOne submits one job (retrying admission rejections with the server's
-// hint) and waits for its terminal state.
-func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, name string, timeout time.Duration, rejected *atomic.Int64) jobOutcome {
+// runOne submits one job — retrying admission rejections under the shared
+// backoff policy — and waits for its terminal state.
+func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, name string, timeout time.Duration, policy serveclient.BackoffPolicy) jobOutcome {
 	t0 := time.Now()
-	var st serve.JobStatus
-	for {
-		var err error
-		st, err = client.Submit(ctx, spec)
-		if err == nil {
-			break
-		}
-		var apiErr *serveclient.APIError
-		if errors.As(err, &apiErr) && apiErr.IsRetryable() {
-			rejected.Add(1)
-			backoff := apiErr.RetryAfter
-			if backoff <= 0 {
-				backoff = 200 * time.Millisecond
-			}
-			time.Sleep(backoff)
-			continue
-		}
+	st, err := client.SubmitRetry(ctx, spec, policy)
+	if err != nil {
 		return jobOutcome{strategy: name, state: serve.StateFailed, err: fmt.Sprintf("submit: %v", err)}
 	}
 	wctx, cancel := context.WithTimeout(ctx, timeout)
@@ -184,7 +249,10 @@ func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, na
 	if err != nil {
 		return jobOutcome{strategy: name, state: serve.StateFailed, err: fmt.Sprintf("wait: %v", err)}
 	}
-	out := jobOutcome{strategy: name, state: final.State, err: final.Error, latency: time.Since(t0)}
+	out := jobOutcome{
+		strategy: name, state: final.State, err: final.Error,
+		latency: time.Since(t0), reroutes: final.Reroutes,
+	}
 	if r := final.Result; r != nil {
 		out.cacheHit = r.CacheHit
 		out.requested = r.RequestedConfig
@@ -201,16 +269,17 @@ func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, na
 	return out
 }
 
-// summarize prints the aggregate and per-strategy report; returns the number
-// of jobs that did not succeed and the number that hit the silent k-step
-// fallback gate (both fail the run).
-func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) (failed, silent int) {
-	var ok, canceled, hits, explored int
+// summarize prints the aggregate and per-strategy report and returns the
+// machine-readable summary. Failed jobs and silent k-step fallbacks both
+// fail the run (silent fallbacks are folded into Failed).
+func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64, slo time.Duration) summaryJSON {
+	var ok, failed, silent, canceled, hits, explored, reroutes int
 	latencies := make([]time.Duration, 0, len(outcomes))
 	perStrategy := map[string][]time.Duration{}
 	// configs counts requested -> served config pairs per strategy arm.
 	configs := map[string]map[string]int{}
 	for _, o := range outcomes {
+		reroutes += o.reroutes
 		switch o.state {
 		case serve.StateSucceeded:
 			ok++
@@ -247,13 +316,39 @@ func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) (fa
 			log.Printf("FAILED [%s]: %s", o.strategy, o.err)
 		}
 	}
-	fmt.Printf("jobs: %d ok, %d failed, %d canceled (%d admission rejections retried)\n",
-		ok, failed, canceled, rejected)
+	fmt.Printf("jobs: %d ok, %d failed, %d canceled (%d admission rejections retried, %d reroutes)\n",
+		ok, failed, canceled, rejected, reroutes)
 	fmt.Printf("wall: %.2fs, throughput %.1f jobs/s, schedule-cache hits %d/%d\n",
 		elapsed.Seconds(), float64(len(outcomes))/elapsed.Seconds(), hits, ok)
+	sum := summaryJSON{
+		Jobs: len(outcomes), OK: ok, Failed: failed + silent, Canceled: canceled,
+		RetriedRejects: rejected, Reroutes: reroutes,
+		WallSeconds:   elapsed.Seconds(),
+		JobsPerSecond: float64(len(outcomes)) / elapsed.Seconds(),
+		CacheHits:     hits,
+	}
+	if ok > 0 {
+		sum.CacheHitRate = float64(hits) / float64(ok)
+	}
 	if len(latencies) > 0 {
+		sum.P50Ms = ms(pct(latencies, 50))
+		sum.P90Ms = ms(pct(latencies, 90))
+		sum.P99Ms = ms(pct(latencies, 99))
+		sum.MaxMs = ms(pct(latencies, 100))
 		fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
 			pct(latencies, 50), pct(latencies, 90), pct(latencies, 99), pct(latencies, 100))
+		if slo > 0 {
+			within := 0
+			for _, l := range latencies {
+				if l <= slo {
+					within++
+				}
+			}
+			sum.SLOMs = ms(slo)
+			sum.SLOAttainment = float64(within) / float64(len(latencies))
+			fmt.Printf("slo: %d/%d jobs within %s (%.1f%% attainment)\n",
+				within, len(latencies), slo, 100*sum.SLOAttainment)
+		}
 	}
 	names := make([]string, 0, len(perStrategy))
 	for name := range perStrategy {
@@ -275,11 +370,16 @@ func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64) (fa
 	if explored > 0 {
 		fmt.Printf("tuner exploration probes: %d jobs\n", explored)
 	}
+	if reroutes > 0 {
+		fmt.Printf("replica-fault reroutes survived: %d\n", reroutes)
+	}
 	if silent > 0 {
 		fmt.Printf("silent k-step fallbacks: %d jobs (failing the run)\n", silent)
 	}
-	return failed, silent
+	return sum
 }
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // pct returns the q-th percentile of the (unsorted) latencies.
 func pct(ds []time.Duration, q int) time.Duration {
@@ -296,23 +396,41 @@ func pct(ds []time.Duration, q int) time.Duration {
 	return sorted[idx].Round(time.Millisecond)
 }
 
-// printServerMetrics scrapes the server's cache and failure counters so the
-// operator (and the CI smoke script) sees the server-side view.
-func printServerMetrics(ctx context.Context, client *serveclient.Client) {
+// printServerMetrics scrapes the target's counters — both the single-replica
+// serve_* series and the router's fleet_* series, whichever the target
+// exposes — so the operator (and the CI smoke script) sees the server-side
+// view. The scraped values are also returned for the -json summary.
+func printServerMetrics(ctx context.Context, client *serveclient.Client) map[string]float64 {
 	m, err := client.Metrics(ctx)
 	if err != nil {
 		log.Printf("metrics scrape failed: %v", err)
-		return
+		return nil
 	}
+	out := map[string]float64{}
 	for _, series := range []string{
 		"serve_jobs_succeeded_total", "serve_jobs_failed_total",
 		"serve_jobs_rejected_total",
 		"serve_schedule_cache_hits_total", "serve_schedule_cache_misses_total",
 		"serve_tuner_decisions_total", "serve_tuner_tuned_total",
 		"serve_tuner_explored_total",
+		"fleet_jobs_succeeded_total", "fleet_jobs_failed_total",
+		"fleet_jobs_rejected_total", "fleet_placements_total",
+		"fleet_steals_total", "fleet_reroutes_total",
+		"fleet_cache_hits_total", "fleet_cache_misses_total",
+		"fleet_replicas_healthy", "fleet_replicas_total",
 	} {
 		if v, found := serveclient.MetricValue(m, series); found {
 			fmt.Printf("server %s %g\n", series, v)
+			out[series] = v
 		}
 	}
+	return out
+}
+
+func writeSummary(path string, sum summaryJSON) error {
+	b, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

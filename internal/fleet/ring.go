@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica names. Every member contributes
+// vnodes points (FNV-64a of "name#i"), and a key is owned by the first point
+// clockwise from the key's hash. Membership changes therefore remap only the
+// keys whose owner changed — a replica joining or leaving moves ~1/N of the
+// key space, so the fleet's warm engine caches survive churn instead of being
+// reshuffled wholesale.
+type ring struct {
+	points   []ringPoint
+	nMembers int
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// hashString is the ring's hash: FNV-64a pushed through a 64-bit avalanche
+// finalizer. Bare FNV clusters badly on short, similar strings (vnode labels
+// differ in one or two trailing bytes), which skews point placement enough to
+// unbalance small rings; the finalizer spreads those correlated inputs over
+// the full key space. Stable across processes so the router and any offline
+// tooling agree on placement.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds a ring over the members with vnodes points each (vnodes <= 0
+// selects 64, enough to balance small fleets within a few percent).
+func newRing(members []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]struct{}, len(members))
+	r := &ring{}
+	for _, m := range members {
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashString(fmt.Sprintf("%s#%d", m, v)), member: m})
+		}
+	}
+	r.nMembers = len(seen)
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // deterministic tie-break across builds
+	})
+	return r
+}
+
+// owner returns the key's home member, "" on an empty ring.
+func (r *ring) owner(key uint64) string {
+	succ := r.successors(key, 1)
+	if len(succ) == 0 {
+		return ""
+	}
+	return succ[0]
+}
+
+// successors returns up to n distinct members in ring order starting at the
+// key's owner — the placement order: the home replica first (a warm engine
+// for this key lives there, if anywhere), then the work-stealing fallbacks
+// for when the home queue is saturated. Stealing walks the ring rather than
+// picking randomly so a given key's overflow lands on a stable second
+// replica, which can then warm its own engine for the key.
+func (r *ring) successors(key uint64, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > r.nMembers {
+		n = r.nMembers
+	}
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := make(map[string]struct{}, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if _, dup := seen[p.member]; dup {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := newRing([]string{"r1", "r2", "r3"}, 64)
+	b := newRing([]string{"r3", "r1", "r2"}, 64)
+	for i := 0; i < 1000; i++ {
+		key := hashString(fmt.Sprintf("key-%d", i))
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %d: owner depends on member insertion order (%s vs %s)",
+				i, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"r1", "r2", "r3"}
+	r := newRing(members, 64)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(hashString(fmt.Sprintf("key-%d", i)))]++
+	}
+	// With 64 vnodes each member should land well within 2x of fair share.
+	fair := n / len(members)
+	for _, m := range members {
+		if counts[m] < fair/2 || counts[m] > fair*2 {
+			t.Fatalf("member %s owns %d of %d keys (fair share %d): ring unbalanced %v",
+				m, counts[m], n, fair, counts)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnRemoval(t *testing.T) {
+	full := newRing([]string{"r1", "r2", "r3"}, 64)
+	without := newRing([]string{"r1", "r3"}, 64)
+	const n = 3000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := hashString(fmt.Sprintf("key-%d", i))
+		was := full.owner(key)
+		now := without.owner(key)
+		if was == "r2" {
+			// Orphaned keys must land somewhere live.
+			if now == "r2" {
+				t.Fatalf("key %d still owned by removed member", i)
+			}
+			continue
+		}
+		if was != now {
+			moved++
+		}
+	}
+	// Consistent hashing: keys not owned by the removed member stay put.
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members after removing r2", moved)
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := newRing([]string{"r1", "r2", "r3"}, 64)
+	for i := 0; i < 100; i++ {
+		key := hashString(fmt.Sprintf("key-%d", i))
+		succ := r.successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %d: got %d successors, want 3", i, len(succ))
+		}
+		if succ[0] != r.owner(key) {
+			t.Fatalf("key %d: first successor %s is not the owner %s", i, succ[0], r.owner(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %d: duplicate successor %s in %v", i, s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := newRing(nil, 64)
+	if got := empty.owner(42); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if got := empty.successors(42, 3); len(got) != 0 {
+		t.Fatalf("empty ring successors = %v, want none", got)
+	}
+	single := newRing([]string{"only"}, 64)
+	if got := single.owner(42); got != "only" {
+		t.Fatalf("single ring owner = %q", got)
+	}
+	if got := single.successors(42, 3); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single ring successors = %v", got)
+	}
+}

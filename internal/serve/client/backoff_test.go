@@ -1,0 +1,140 @@
+package serveclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"islands/internal/serve"
+)
+
+func TestDelayHonorsHintFloorAndCap(t *testing.T) {
+	// Pin the jitter source to its maximum so Delay is deterministic:
+	// hint + min(Max, Initial*2^attempt), modulo the <1.0 jitter factor.
+	p := BackoffPolicy{Initial: 100 * time.Millisecond, Max: 800 * time.Millisecond,
+		Rand: func() float64 { return 0.999 }}
+	hint := 3 * time.Second
+	for attempt := 0; attempt < 10; attempt++ {
+		d := p.Delay(attempt, hint)
+		if d < hint {
+			t.Fatalf("attempt %d: delay %s below the server hint %s", attempt, d, hint)
+		}
+		if d > hint+800*time.Millisecond {
+			t.Fatalf("attempt %d: delay %s exceeds hint+Max", attempt, d)
+		}
+	}
+	// Exponential growth before the cap: attempt 2 upper bound is 4x Initial.
+	if d := p.Delay(2, 0); d > 400*time.Millisecond {
+		t.Fatalf("attempt 2 delay %s exceeds Initial*2^2", d)
+	}
+	// Full jitter: a zero draw means the delay is exactly the hint.
+	p.Rand = func() float64 { return 0 }
+	if d := p.Delay(5, hint); d != hint {
+		t.Fatalf("zero jitter draw: delay %s, want exactly the hint %s", d, hint)
+	}
+}
+
+func TestSleepContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := SleepContext(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SleepContext = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("SleepContext did not return promptly on cancellation")
+	}
+}
+
+// busyThenAccept is a fake replica: the first n submissions are rejected 429
+// with a Retry-After hint, later ones are accepted.
+func busyThenAccept(n int, hintSecs string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("Retry-After", hintSecs)
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.JobStatus{ID: "j00000001", State: serve.StateQueued})
+	}))
+	return hs, &calls
+}
+
+func TestSubmitRetryEventuallyAccepted(t *testing.T) {
+	hs, calls := busyThenAccept(2, "0")
+	defer hs.Close()
+	var retries int
+	st, err := New(hs.URL).SubmitRetry(context.Background(), serve.Spec{}, BackoffPolicy{
+		Initial: time.Millisecond, Max: 2 * time.Millisecond, MaxAttempts: 5,
+		OnRetry: func(int, time.Duration, error) { retries++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j00000001" || calls.Load() != 3 || retries != 2 {
+		t.Fatalf("status %+v after %d calls and %d retries, want accepted on call 3", st, calls.Load(), retries)
+	}
+}
+
+func TestSubmitRetryGivesUpWithAPIError(t *testing.T) {
+	hs, calls := busyThenAccept(1000, "0")
+	defer hs.Close()
+	_, err := New(hs.URL).SubmitRetry(context.Background(), serve.Spec{}, BackoffPolicy{
+		Initial: time.Millisecond, Max: 2 * time.Millisecond, MaxAttempts: 3,
+	})
+	if err == nil {
+		t.Fatal("SubmitRetry succeeded against a permanently saturated server")
+	}
+	// The attempt bound held and the last rejection is still inspectable.
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts=3", calls.Load())
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("giving-up error %v does not wrap the 429 APIError", err)
+	}
+}
+
+func TestSubmitRetryStopsOnCancel(t *testing.T) {
+	// A huge Retry-After hint would park the retry for an hour; cancellation
+	// must cut the sleep short — the fix for the old uncancellable spin.
+	hs, _ := busyThenAccept(1000, "3600")
+	defer hs.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := New(hs.URL).SubmitRetry(ctx, serve.Spec{}, BackoffPolicy{MaxAttempts: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitRetry = %v, want a context.Canceled wrap", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("SubmitRetry kept sleeping after cancellation")
+	}
+}
+
+func TestSubmitRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "bad spec"})
+	}))
+	defer hs.Close()
+	_, err := New(hs.URL).SubmitRetry(context.Background(), serve.Spec{}, BackoffPolicy{MaxAttempts: 8})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("SubmitRetry = %v, want the 400 surfaced without retries", err)
+	}
+}

@@ -204,6 +204,15 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// Stats fetches the replica's load/health snapshot (GET /v1/stats) — the
+// cheap JSON probe the fleet router polls for membership and work-stealing
+// decisions.
+func (c *Client) Stats(ctx context.Context) (serve.ReplicaStats, error) {
+	var st serve.ReplicaStats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
 // Metrics fetches the raw text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)

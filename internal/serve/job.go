@@ -111,6 +111,11 @@ type JobStatus struct {
 	// Result is present on succeeded jobs.
 	Result *Result `json:"result,omitempty"`
 	Spec   Spec    `json:"spec"`
+	// Replica and Reroutes are filled by the fleet router (docs/FLEET.md):
+	// the replica the job last ran on and the number of replica-fault
+	// re-placements it survived. Always empty/zero on a single server.
+	Replica  string `json:"replica,omitempty"`
+	Reroutes int    `json:"reroutes,omitempty"`
 }
 
 // Job is one admitted simulation request moving through the FSM.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"islands/internal/exec"
 )
 
 // stepBuckets are the per-step latency histogram bounds in seconds.
@@ -57,8 +59,30 @@ func newMetrics() *Metrics {
 	return &Metrics{steps: make(map[string]*histogram)}
 }
 
+// stepLabelOther buckets step observations whose strategy label is not one
+// of the known strategies — the histogram label set stays bounded no matter
+// what strings reach ObserveStep.
+const stepLabelOther = "other"
+
+// validStepLabels is the closed set of per-strategy histogram labels: the
+// executor's strategy names plus the core-islands variant. ObserveStep
+// validates against it so a hostile or buggy caller cannot mint one time
+// series per request string and explode the exposition's cardinality.
+var validStepLabels = func() map[string]struct{} {
+	v := make(map[string]struct{})
+	for _, s := range []exec.Strategy{exec.Original, exec.Plus31D, exec.IslandsOfCores} {
+		v[s.String()] = struct{}{}
+	}
+	v[exec.IslandsOfCores.String()+"+core-islands"] = struct{}{}
+	return v
+}()
+
 // ObserveStep records one completed step's latency for a strategy label.
+// Labels outside the known strategy set are folded into "other".
 func (m *Metrics) ObserveStep(strategy string, d time.Duration) {
+	if _, ok := validStepLabels[strategy]; !ok {
+		strategy = stepLabelOther
+	}
 	m.StepsRun.Add(1)
 	m.mu.Lock()
 	h := m.steps[strategy]

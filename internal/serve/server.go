@@ -15,6 +15,12 @@ import (
 // ErrDraining rejects submissions while the server drains (HTTP 503).
 var ErrDraining = errors.New("serve: server is draining, not admitting jobs")
 
+// DrainAbortReason is the error reported by jobs the drain timeout aborts.
+// It is part of the replica contract: the fleet router (internal/fleet)
+// recognizes it as a replica fault — the job did nothing wrong, its executor
+// went away — and reroutes the job to another replica instead of failing it.
+const DrainAbortReason = "aborted by server drain"
+
 // Options configures a Server. The zero value selects the documented
 // defaults.
 type Options struct {
@@ -86,6 +92,40 @@ func NewServer(opts Options) *Server {
 
 // Metrics exposes the server's counters (tests assert on them directly).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ReplicaStats is the JSON payload of GET /v1/stats: the cheap load/health
+// snapshot a fleet router polls to maintain membership and steer
+// work-stealing. A replica reporting Draining no longer accepts jobs and
+// should leave the placement ring.
+type ReplicaStats struct {
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	SlotsBusy     int    `json:"slots_busy"`
+	SlotsTotal    int    `json:"slots_total"`
+	Running       int    `json:"running"`
+	Draining      bool   `json:"draining"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	Succeeded     uint64 `json:"succeeded"`
+	Failed        uint64 `json:"failed"`
+}
+
+// Stats snapshots the replica for the fleet router.
+func (s *Server) Stats() ReplicaStats {
+	ps := s.pool.Stats()
+	return ReplicaStats{
+		QueueDepth:    s.queue.depth(),
+		QueueCapacity: s.queue.maxDepth,
+		SlotsBusy:     ps.Busy,
+		SlotsTotal:    ps.Capacity,
+		Running:       int(s.running.Load()),
+		Draining:      s.draining.Load(),
+		CacheHits:     ps.Hits,
+		CacheMisses:   ps.Misses,
+		Succeeded:     s.metrics.Succeeded.Load(),
+		Failed:        s.metrics.Failed.Load(),
+	}
+}
 
 // PoolStats snapshots the slot pool.
 func (s *Server) PoolStats() PoolStats { return s.pool.Stats() }
@@ -379,9 +419,9 @@ func (s *Server) Drain(timeout time.Duration) error {
 			if !j.State().Terminal() {
 				survivors++
 				j.drainKilled.Store(true)
-				j.Cancel("aborted by server drain")
+				j.Cancel(DrainAbortReason)
 				if s.queue.remove(j) {
-					s.finishJob(j, StateFailed, "aborted by server drain", nil)
+					s.finishJob(j, StateFailed, DrainAbortReason, nil)
 				}
 			}
 		}
@@ -461,6 +501,7 @@ func profileReport(label string, eng Engine) *ProfileReport {
 //	GET  /v1/jobs/{id}/events  SSE per-step progress
 //	GET  /v1/jobs/{id}/result  result once terminal     -> 200 JobStatus
 //	POST /v1/jobs/{id}/cancel  cancel queued or running -> 202 JobStatus
+//	GET  /v1/stats             replica load snapshot    -> 200 ReplicaStats
 //	GET  /metrics              text exposition
 //	GET  /healthz              200 ok / 503 draining
 func (s *Server) Handler() http.Handler {
@@ -470,9 +511,27 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// RetryAfterSeconds renders a backoff hint as the whole seconds of a
+// Retry-After header: integer ceiling (no float drift for exact values) and
+// clamped to >= 1 — "Retry-After: 0" tells clients to hammer the queue
+// immediately, which is exactly what admission control exists to prevent.
+// The fleet router uses the same rendering for its aggregate rejections, so
+// the wire contract is identical one replica deep or N.
+func RetryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // apiError is the JSON error envelope.
@@ -504,7 +563,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", "10")
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		case errors.As(err, &qf):
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(qf.RetryAfter.Seconds()+0.999)))
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds(qf.RetryAfter)))
 			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 		default:
 			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -650,6 +709,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, g)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,142 @@
+package serve_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"islands/internal/serve"
+	serveclient "islands/internal/serve/client"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{time.Millisecond, 1},
+		// The old float rendering int(0.3+0.999) truncated to 0 — a header
+		// telling clients to retry immediately, which is the storm.
+		{300 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2*time.Second + time.Nanosecond, 3},
+	}
+	for _, c := range cases {
+		if got := serve.RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%s) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestHTTPRetryAfterNeverZero pins the wire contract for sub-second backoff
+// hints: the Retry-After header must render as an integer >= 1, never "0"
+// (which clients read as "retry now" — the storm amplifier).
+func TestHTTPRetryAfterNeverZero(t *testing.T) {
+	gate := make(chan struct{})
+	srv := serve.NewServer(serve.Options{
+		Slots: 1, QueueDepth: 1, RetryAfter: 300 * time.Millisecond,
+		EngineFactory: gatedFactory(gate), Logf: t.Logf,
+	})
+	defer srv.Close()
+	defer close(gate)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := serveclient.New(hs.URL)
+	ctx := t.Context()
+
+	running, err := client.Submit(ctx, smallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := srv.Job(running.ID)
+	waitState(t, j, serve.StateRunning)
+	if _, err := client.Submit(ctx, smallSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"grid":"32x16x8","steps":1,"processors":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit into full queue = %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q for a 300ms hint, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestStepLabelCardinalityBounded asserts ObserveStep folds unknown strategy
+// labels into "other" instead of minting an unbounded time series per input
+// string.
+func TestStepLabelCardinalityBounded(t *testing.T) {
+	srv := serve.NewServer(serve.Options{Slots: 1, Logf: t.Logf})
+	defer srv.Close()
+	m := srv.Metrics()
+	for i := 0; i < 100; i++ {
+		m.ObserveStep("hostile-label-"+strconv.Itoa(i), time.Millisecond)
+	}
+	m.ObserveStep("islands-of-cores", time.Millisecond)
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	exposition, err := serveclient.New(hs.URL).Metrics(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(exposition, "hostile-label-") {
+		t.Fatal("hostile strategy label leaked into the metrics exposition")
+	}
+	if !strings.Contains(exposition, `serve_step_seconds_count{strategy="other"} 100`) {
+		t.Fatal("unknown labels were not folded into the bounded \"other\" series")
+	}
+	if !strings.Contains(exposition, `serve_step_seconds_count{strategy="islands-of-cores"} 1`) {
+		t.Fatal("known strategy label missing from the exposition")
+	}
+}
+
+// TestStatsEndpoint pins the /v1/stats probe the fleet router polls.
+func TestStatsEndpoint(t *testing.T) {
+	gate := make(chan struct{})
+	srv := serve.NewServer(serve.Options{
+		Slots: 1, QueueDepth: 4, EngineFactory: gatedFactory(gate), Logf: t.Logf,
+	})
+	defer srv.Close()
+	defer close(gate)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := serveclient.New(hs.URL)
+	ctx := t.Context()
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SlotsTotal != 1 || st.QueueCapacity != 4 || st.Draining || st.Running != 0 {
+		t.Fatalf("idle stats = %+v", st)
+	}
+
+	running, err := client.Submit(ctx, smallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := srv.Job(running.ID)
+	waitState(t, j, serve.StateRunning)
+	st, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Running != 1 || st.SlotsBusy != 1 {
+		t.Fatalf("busy stats = %+v, want 1 running on 1 busy slot", st)
+	}
+}

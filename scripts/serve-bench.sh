@@ -1,0 +1,136 @@
+#!/bin/sh
+# serve-bench.sh — serving-layer benchmark trajectory: run the same mixed
+# workload against (a) one mpdata-serve and (b) an mpdata-router fronting two
+# replicas with the same total slot count, and append both arms' summaries to
+# BENCH_serve.json. The acceptance gate is cache affinity: the fleet's
+# engine-cache hit rate must not fall below the single-server baseline —
+# that is what hashing jobs by engine cache key buys (see docs/FLEET.md).
+# Usage:
+#
+#   scripts/serve-bench.sh [label]
+#
+# JOBS/CONCURRENCY/STEPS/SLOTS override the workload (defaults 96/8/5/4).
+set -eu
+cd "$(dirname "$0")/.." || exit 1
+
+label=${1:-"$(date -u +%Y-%m-%dT%H:%M:%SZ)"}
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+jobs=${JOBS:-96}
+concurrency=${CONCURRENCY:-8}
+steps=${STEPS:-5}
+slots=${SLOTS:-4}
+grids="48x32x8,64x32x8"
+
+bindir=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$bindir"
+}
+trap cleanup EXIT
+
+go build -o "$bindir/mpdata-serve" ./cmd/mpdata-serve
+go build -o "$bindir/mpdata-router" ./cmd/mpdata-router
+go build -o "$bindir/mpdata-load" ./cmd/mpdata-load
+
+scrape_url() {
+    _log=$1
+    _pid=$2
+    _prefix=$3
+    _url=""
+    for _ in $(seq 1 100); do
+        _url=$(sed -n "s/^$_prefix: listening on \\(http:\\/\\/[^ ]*\\).*/\\1/p" "$_log" | head -n1)
+        [ -n "$_url" ] && break
+        if ! kill -0 "$_pid" 2>/dev/null; then
+            echo "serve-bench: $_prefix died on startup:" >&2
+            cat "$_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$_url" ]; then
+        echo "serve-bench: $_prefix never reported its listen address" >&2
+        exit 1
+    fi
+    echo "$_url"
+}
+
+stop_clean() {
+    kill -TERM "$1"
+    wait "$1" || {
+        echo "serve-bench: process $1 did not drain cleanly" >&2
+        exit 1
+    }
+}
+
+# ------------------------------------------------- arm 1: single server --
+
+log="$bindir/single.log"
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots "$slots" >"$log" 2>&1 &
+pid=$!
+pids="$pid"
+url=$(scrape_url "$log" "$pid" mpdata-serve)
+echo "serve-bench: single-server arm at $url ($jobs jobs, $slots slots)"
+# Warm-up: one sequential job per (strategy, grid) class compiles every
+# engine once, so the measured run sees steady-state cache behavior in both
+# arms instead of cold-compile arrival order.
+"$bindir/mpdata-load" -addr "$url" -jobs 8 -concurrency 1 \
+    -grids "$grids" -steps 1 -p 2 >/dev/null
+"$bindir/mpdata-load" -addr "$url" -jobs "$jobs" -concurrency "$concurrency" \
+    -grids "$grids" -steps "$steps" -p 2 -slo 2s \
+    -json "$bindir/single.json" -label single-server
+stop_clean "$pid"
+pids=""
+
+# -------------------------------------------- arm 2: router + 2 replicas --
+
+half=$((slots / 2))
+[ "$half" -lt 1 ] && half=1
+r1log="$bindir/r1.log"
+r2log="$bindir/r2.log"
+rtlog="$bindir/rt.log"
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots "$half" >"$r1log" 2>&1 &
+r1=$!
+pids="$r1"
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots "$half" >"$r2log" 2>&1 &
+r2=$!
+pids="$pids $r2"
+r1url=$(scrape_url "$r1log" "$r1" mpdata-serve)
+r2url=$(scrape_url "$r2log" "$r2" mpdata-serve)
+"$bindir/mpdata-router" -addr 127.0.0.1:0 -replicas "$r1url,$r2url" >"$rtlog" 2>&1 &
+rt=$!
+pids="$pids $rt"
+rturl=$(scrape_url "$rtlog" "$rt" mpdata-router)
+echo "serve-bench: fleet arm at $rturl over 2 replicas x $half slots"
+"$bindir/mpdata-load" -addr "$rturl" -jobs 8 -concurrency 1 \
+    -grids "$grids" -steps 1 -p 2 >/dev/null
+"$bindir/mpdata-load" -addr "$rturl" -jobs "$jobs" -concurrency "$concurrency" \
+    -grids "$grids" -steps "$steps" -p 2 -slo 2s \
+    -json "$bindir/fleet.json" -label fleet-2-replicas
+stop_clean "$rt"
+stop_clean "$r1"
+stop_clean "$r2"
+pids=""
+
+# ------------------------------------------------------------- trajectory --
+
+base_rate=$(jq -r '.cache_hit_rate' "$bindir/single.json")
+fleet_rate=$(jq -r '.cache_hit_rate' "$bindir/fleet.json")
+echo "serve-bench: cache hit rate single=$base_rate fleet=$fleet_rate"
+if ! awk -v f="$fleet_rate" -v b="$base_rate" 'BEGIN { exit !(f >= b - 0.02) }'; then
+    echo "serve-bench: FLEET CACHE HIT RATE REGRESSED below the single-server baseline" >&2
+    exit 1
+fi
+
+out=BENCH_serve.json
+[ -f "$out" ] || echo '{"benchmark":"ServeFleet","runs":[]}' >"$out"
+jq --arg lbl "$label" --arg commit "$commit" \
+    --slurpfile single "$bindir/single.json" --slurpfile fleet "$bindir/fleet.json" \
+    '.runs += [{"label": $lbl, "commit": $commit, "arms": ($single + $fleet)}]' \
+    "$out" >"$out.tmp"
+mv "$out.tmp" "$out"
+echo "serve-bench: appended run \"$label\" to $out"

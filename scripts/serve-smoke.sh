@@ -1,62 +1,91 @@
 #!/bin/sh
-# serve-smoke.sh — end-to-end smoke test of the serving subsystem: start
-# mpdata-serve on a random port, push one small job per strategy through it
-# with mpdata-load, assert the server-side metrics report zero failures, then
-# SIGTERM the server and require a clean drain (exit 0). Usage:
+# serve-smoke.sh — end-to-end smoke test of the serving subsystem, in two
+# phases:
+#
+#   1. Single server: start mpdata-serve on a random port, push one small job
+#      per strategy through it with mpdata-load, assert the server-side
+#      metrics report zero failures, then SIGTERM the server and require a
+#      clean drain (exit 0).
+#   2. Fleet: start two replicas and an mpdata-router on random ports, drive
+#      mixed traffic through the router, kill -9 one replica mid-run, and
+#      assert zero failed jobs in the router's /metrics (every affected job
+#      rerouted and re-run), the dead replica evicted from membership, and a
+#      clean SIGTERM drain of the router.
+#
+# Usage:
 #
 #   scripts/serve-smoke.sh [jobs]
 #
-# JOBS (argument or env) is the total job count (default 8: two rounds over
+# JOBS (argument or env) is the phase-1 job count (default 8: two rounds over
 # the four strategies, so the second round must hit the schedule cache).
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
 jobs=${1:-${JOBS:-8}}
+fleet_jobs=${FLEET_JOBS:-16}
 bindir=$(mktemp -d)
-log="$bindir/serve.log"
-server_pid=""
+pids=""
 
 cleanup() {
-    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
-        kill -9 "$server_pid" 2>/dev/null || true
-    fi
+    for pid in $pids; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$bindir"
 }
 trap cleanup EXIT
 
 go build -o "$bindir/mpdata-serve" ./cmd/mpdata-serve
+go build -o "$bindir/mpdata-router" ./cmd/mpdata-router
 go build -o "$bindir/mpdata-load" ./cmd/mpdata-load
 
-# Random port: the server prints "listening on http://HOST:PORT (...)".
-"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 >"$log" 2>&1 &
-server_pid=$!
-
-url=""
-for _ in $(seq 1 50); do
-    url=$(sed -n 's/^mpdata-serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$log" | head -n1)
-    [ -n "$url" ] && break
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        echo "serve-smoke: server died on startup:" >&2
-        cat "$log" >&2
+# scrape_url LOG PID PREFIX: wait for "PREFIX: listening on http://HOST:PORT"
+# in LOG and print the URL (both binaries log the same machine-readable line).
+scrape_url() {
+    _log=$1
+    _pid=$2
+    _prefix=$3
+    _url=""
+    for _ in $(seq 1 100); do
+        _url=$(sed -n "s/^$_prefix: listening on \\(http:\\/\\/[^ ]*\\).*/\\1/p" "$_log" | head -n1)
+        [ -n "$_url" ] && break
+        if ! kill -0 "$_pid" 2>/dev/null; then
+            echo "serve-smoke: $_prefix died on startup:" >&2
+            cat "$_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$_url" ]; then
+        echo "serve-smoke: $_prefix never reported its listen address" >&2
+        cat "$_log" >&2
         exit 1
     fi
-    sleep 0.1
-done
-if [ -z "$url" ]; then
-    echo "serve-smoke: server never reported its listen address" >&2
-    cat "$log" >&2
-    exit 1
-fi
+    echo "$_url"
+}
+
+# metric_value URL SERIES: print one exposition sample's value.
+metric_value() {
+    curl -fsS "$1/metrics" | awk -v s="$2" '$1 == s {print $2}'
+}
+
+# ---------------------------------------------------------------- phase 1 --
+
+log="$bindir/serve.log"
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 >"$log" 2>&1 &
+server_pid=$!
+pids="$server_pid"
+url=$(scrape_url "$log" "$server_pid" mpdata-serve)
 echo "serve-smoke: server at $url (pid $server_pid), running $jobs jobs"
 
 # One small job per strategy (round robin over all four), 4 clients.
 "$bindir/mpdata-load" -addr "$url" -jobs "$jobs" -concurrency 4 \
-    -grid 48x32x8 -steps 3 -p 2
+    -grids 48x32x8 -steps 3 -p 2
 
 # The server's own counters must agree: every submission succeeded.
-metrics=$(curl -fsS "$url/metrics")
-failed=$(echo "$metrics" | awk '$1 == "serve_jobs_failed_total" {print $2}')
-succeeded=$(echo "$metrics" | awk '$1 == "serve_jobs_succeeded_total" {print $2}')
+failed=$(metric_value "$url" serve_jobs_failed_total)
+succeeded=$(metric_value "$url" serve_jobs_succeeded_total)
 if [ "$failed" != "0" ]; then
     echo "serve-smoke: server reports $failed failed jobs" >&2
     exit 1
@@ -80,5 +109,94 @@ if ! grep -q "drained cleanly" "$log"; then
     cat "$log" >&2
     exit 1
 fi
-server_pid=""
-echo "serve-smoke: OK ($succeeded jobs, clean drain)"
+pids=""
+echo "serve-smoke: phase 1 OK ($succeeded jobs, clean drain)"
+
+# ---------------------------------------------------------------- phase 2 --
+
+r1log="$bindir/replica1.log"
+r2log="$bindir/replica2.log"
+rtlog="$bindir/router.log"
+
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 >"$r1log" 2>&1 &
+r1_pid=$!
+pids="$r1_pid"
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 >"$r2log" 2>&1 &
+r2_pid=$!
+pids="$pids $r2_pid"
+r1_url=$(scrape_url "$r1log" "$r1_pid" mpdata-serve)
+r2_url=$(scrape_url "$r2log" "$r2_pid" mpdata-serve)
+
+"$bindir/mpdata-router" -addr 127.0.0.1:0 -replicas "$r1_url,$r2_url" >"$rtlog" 2>&1 &
+router_pid=$!
+pids="$pids $router_pid"
+router_url=$(scrape_url "$rtlog" "$router_pid" mpdata-router)
+echo "serve-smoke: fleet router at $router_url over $r1_url + $r2_url"
+
+# Mixed traffic through the router: two grids x four strategies, enough steps
+# that the run spans the replica kill below. Generous retry budget: after the
+# kill, half the fleet's capacity is gone and submissions may back off.
+"$bindir/mpdata-load" -addr "$router_url" -jobs "$fleet_jobs" -concurrency 4 \
+    -grids 48x32x8,32x32x16 -steps 25 -p 2 -retries 12 &
+load_pid=$!
+pids="$pids $load_pid"
+
+# Kill one replica mid-run — kill -9, no drain: queued and running jobs on it
+# must be rerouted by the router, not lost.
+sleep 1
+kill -9 "$r1_pid" 2>/dev/null || true
+echo "serve-smoke: killed replica 1 (pid $r1_pid) mid-run"
+
+rc=0
+wait "$load_pid" || rc=$?
+pids="$r2_pid $router_pid"
+if [ "$rc" != "0" ]; then
+    echo "serve-smoke: fleet load run exited $rc after the replica kill" >&2
+    cat "$rtlog" >&2
+    exit 1
+fi
+
+# Router counters: every job terminal exactly once, none failed, and the
+# dead replica evicted from the membership (healthy gauge down to 1).
+failed=$(metric_value "$router_url" fleet_jobs_failed_total)
+succeeded=$(metric_value "$router_url" fleet_jobs_succeeded_total)
+if [ "$failed" != "0" ]; then
+    echo "serve-smoke: router reports $failed failed jobs after the kill" >&2
+    curl -fsS "$router_url/metrics" >&2
+    exit 1
+fi
+if [ "$succeeded" != "$fleet_jobs" ]; then
+    echo "serve-smoke: router reports $succeeded succeeded jobs, want $fleet_jobs" >&2
+    curl -fsS "$router_url/metrics" >&2
+    exit 1
+fi
+healthy=""
+for _ in $(seq 1 50); do
+    healthy=$(metric_value "$router_url" fleet_replicas_healthy)
+    [ "$healthy" = "1" ] && break
+    sleep 0.1
+done
+if [ "$healthy" != "1" ]; then
+    echo "serve-smoke: fleet_replicas_healthy=$healthy, want 1 after the kill" >&2
+    exit 1
+fi
+reroutes=$(metric_value "$router_url" fleet_reroutes_total)
+
+# Graceful router drain: SIGTERM must exit 0 and log the clean-drain line.
+kill -TERM "$router_pid"
+rc=0
+wait "$router_pid" || rc=$?
+if [ "$rc" != "0" ]; then
+    echo "serve-smoke: router exited $rc after SIGTERM" >&2
+    cat "$rtlog" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$rtlog"; then
+    echo "serve-smoke: no clean-drain line in the router log" >&2
+    cat "$rtlog" >&2
+    exit 1
+fi
+kill -TERM "$r2_pid" 2>/dev/null || true
+wait "$r2_pid" 2>/dev/null || true
+pids=""
+echo "serve-smoke: phase 2 OK ($succeeded jobs, $reroutes reroutes, replica kill survived, clean drain)"
