@@ -138,6 +138,9 @@ func main() {
 	strategies := flag.String("strategies", "original,3+1d,islands,islands+core", "comma-separated strategy rotation (suffix +core for core islands)")
 	ksteps := flag.Int("ksteps", 0, "temporal blocking factor requested per job (islands strategies only)")
 	pin := flag.Bool("pin", false, "pin jobs to the requested config (opt out of server-side autotuning)")
+	streamed := flag.Bool("streamed", false, "submit streamed (out-of-core) jobs: the server tiles each domain under -budget-mb (docs/STREAMING.md)")
+	budgetMB := flag.Int("budget-mb", 0, "memory_budget_mb of streamed jobs (0 = server default; requires -streamed)")
+	streamID := flag.String("stream-id", "", "base stream_id of streamed jobs; each job gets a -<n> suffix so durable stores never collide across the rotation (requires -streamed)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job wait timeout")
 	retries := flag.Int("retries", 8, "max submission attempts per job (admission rejections)")
 	retryInitial := flag.Duration("retry-initial", 100*time.Millisecond, "base of the exponential retry backoff")
@@ -158,16 +161,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if !*streamed && (*budgetMB != 0 || *streamID != "") {
+		log.Fatal("-budget-mb and -stream-id require -streamed")
+	}
 	// Validate every (strategy, grid) template once, client-side, with the
 	// same helpers the server uses — a bad flag fails fast instead of 100
 	// times.
-	template := serve.Spec{Steps: *steps, Processors: *p, KSteps: *ksteps, Pin: *pin}
+	template := serve.Spec{
+		Steps: *steps, Processors: *p, KSteps: *ksteps, Pin: *pin,
+		Streamed: *streamed, MemoryBudgetMB: *budgetMB,
+	}
 	for _, w := range loads {
 		for _, g := range grids {
 			s := template
 			s.Strategy = w.strategy
 			s.CoreIslands = w.coreIslands
 			s.Grid = g
+			if *streamID != "" {
+				s.StreamID = *streamID + "-0"
+			}
 			if err := s.Validate(); err != nil {
 				log.Fatalf("bad spec for %s @ %s: %v", w.name, g, err)
 			}
@@ -212,6 +224,12 @@ func main() {
 				spec.Strategy = w.strategy
 				spec.CoreIslands = w.coreIslands
 				spec.Grid = grids[(n/int64(len(loads)))%int64(len(grids))]
+				if *streamID != "" {
+					// Per-job suffix: stores are keyed by stream_id, and a
+					// shared one would make rotating grids/strategies fight
+					// over a single checkpoint.
+					spec.StreamID = fmt.Sprintf("%s-%d", *streamID, n)
+				}
 				out := runOne(ctx, client, spec, w.name, *timeout, policy)
 				mu.Lock()
 				outcomes = append(outcomes, out)
@@ -260,9 +278,10 @@ func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, na
 		out.explored = r.Explored
 		// The silent-fallback gate: the engine compiled a different k than
 		// requested, no tuner substitution explains it, and the executor's
-		// fallback reason is missing.
+		// fallback reason is missing. Streamed jobs are exempt — their k is
+		// derived from the memory budget by design (reported in r.Stream.K).
 		want := max(spec.KSteps, 1)
-		if r.KSteps != 0 && r.KSteps != want && !r.Tuned && !r.Explored && r.KStepFallback == "" {
+		if !spec.Streamed && r.KSteps != 0 && r.KSteps != want && !r.Tuned && !r.Explored && r.KStepFallback == "" {
 			out.silentKFallback = true
 		}
 	}
@@ -413,6 +432,9 @@ func printServerMetrics(ctx context.Context, client *serveclient.Client) map[str
 		"serve_schedule_cache_hits_total", "serve_schedule_cache_misses_total",
 		"serve_tuner_decisions_total", "serve_tuner_tuned_total",
 		"serve_tuner_explored_total",
+		"serve_stream_jobs_total", "serve_stream_tiles_total",
+		"serve_stream_bytes_read_total", "serve_stream_bytes_written_total",
+		"serve_stream_resumed_total", "serve_stream_disk_bw_bytes",
 		"fleet_jobs_succeeded_total", "fleet_jobs_failed_total",
 		"fleet_jobs_rejected_total", "fleet_placements_total",
 		"fleet_steals_total", "fleet_reroutes_total",

@@ -54,6 +54,8 @@ func main() {
 	tuneSeed := flag.Int64("tune-seed", 1, "autotuner random seed (reproducible exploration)")
 	tuneEpsilon := flag.Float64("tune-epsilon", 0.1, "exploration probability per tuning decision (0 disables exploration)")
 	tuneExplore := flag.Float64("tune-explore", 0.1, "cap on the fraction of served steps spent exploring")
+	spillDir := flag.String("spill-dir", "", "root directory for streamed jobs' tile stores (\"\" = $TMPDIR/mpdata-spill; docs/STREAMING.md)")
+	streamBudget := flag.Int("stream-budget-mb", 0, "default memory budget of streamed jobs whose spec leaves memory_budget_mb unset (0 = 512)")
 	flag.Parse()
 
 	var tuner *tune.Tuner
@@ -76,12 +78,14 @@ func main() {
 	}
 
 	srv := serve.NewServer(serve.Options{
-		Slots:      *slots,
-		MaxCached:  *maxCached,
-		QueueDepth: *queueDepth,
-		RetryAfter: *retryAfter,
-		Tuner:      tuner,
-		Logf:       log.Printf,
+		Slots:          *slots,
+		MaxCached:      *maxCached,
+		QueueDepth:     *queueDepth,
+		RetryAfter:     *retryAfter,
+		Tuner:          tuner,
+		SpillDir:       *spillDir,
+		StreamBudgetMB: *streamBudget,
+		Logf:           log.Printf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

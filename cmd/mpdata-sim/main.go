@@ -21,7 +21,9 @@ import (
 	"islands/internal/mpdata"
 	"islands/internal/perf"
 	"islands/internal/serve"
+	"islands/internal/stream"
 	"islands/internal/topology"
+	"islands/internal/tune"
 )
 
 func main() {
@@ -52,6 +54,9 @@ func main() {
 	ksteps := flag.Int("ksteps", 0, "temporal blocking: islands advance this many steps between global joins (0/1 = off, islands strategy only)")
 	iord := flag.Int("iord", 2, "MPDATA order (number of passes, 1..4)")
 	dump := flag.String("dump", "", "write the final psi field to this file (grid field format)")
+	streamBudget := flag.Int("stream-budget-mb", 0, "run out of core under this resident-memory budget in MiB: the domain is streamed through disk-backed tiles (0 = resident; docs/STREAMING.md)")
+	spillDir := flag.String("spill-dir", "", "spill directory for -stream-budget-mb (\"\" = a private temp dir, removed afterwards)")
+	streamNoPrefetch := flag.Bool("stream-noprefetch", false, "disable the stream's double-buffered prefetch pipeline (ablation)")
 	plan := flag.Bool("plan", false, "print the execution geometry (islands, blocks, redundancy) and exit")
 	schedule := flag.Bool("schedule", false, "print every strategy's compiled schedule and feedback-publish table (mode, halo strips, bytes per step) and exit")
 	topo := flag.Bool("topology", false, "print the simulated machine description and exit")
@@ -117,6 +122,16 @@ func main() {
 		CoreIslands: *coreIslands,
 		KSteps:      *ksteps,
 		IORD:        *iord,
+	}
+
+	if *streamBudget > 0 {
+		if *ksteps > 1 {
+			log.Fatal("-ksteps does not combine with -stream-budget-mb (the residency picker derives k from the budget)")
+		}
+		if err := runStreamed(domain, cfg, *streamBudget, *spillDir, *streamNoPrefetch); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *tuneFlag {
@@ -260,6 +275,89 @@ func main() {
 			fmt.Print(timeline)
 		}
 	}
+}
+
+// runStreamed executes the computation out of core (docs/STREAMING.md): the
+// residency picker chooses the widest tile and temporal factor k fitting the
+// memory budget, the domain spills to a disk-backed plane store, and the
+// stream drives tiles through a resident engine with double-buffered
+// prefetch. The checksums printed are bit-identical to the resident run's.
+func runStreamed(domain islands.Size, cfg islands.Config, budgetMB int, dir string, noPrefetch bool) error {
+	m, err := topology.UV2000(cfg.Processors)
+	if err != nil {
+		return err
+	}
+	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: cfg.IORD, NonOscillatory: true})
+	if err != nil {
+		return err
+	}
+	class := tune.Class{
+		Domain: domain, Processors: cfg.Processors, Variant: cfg.Variant,
+		Boundary: cfg.Boundary, IORD: cfg.IORD,
+	}
+	ec := tune.ApplyKnobs(class.BaseConfig(m), tune.Knobs{
+		Strategy: cfg.Strategy, CoreIslands: cfg.CoreIslands, Placement: cfg.Placement,
+	}.Canon())
+	temp := dir == ""
+	var tilePlanes, k int
+	if tp, ck, ok := stream.StoredResidency(dir); !temp && ok {
+		// An explicit spill dir with a checkpoint resumes: the recorded
+		// residency wins (resume validation rejects changed geometry).
+		fmt.Printf("residency: resuming %s with its checkpointed w=%d k=%d\n", dir, tp, ck)
+		tilePlanes, k = tp, ck
+	} else {
+		r, err := tune.PickResidency(m, &kp.Program, class, tune.KnobsOf(ec, domain), cfg.Steps, int64(budgetMB)<<20, 0)
+		if err != nil {
+			return err
+		}
+		tilePlanes, k = 0, cfg.Steps
+		if r.Resident {
+			fmt.Printf("residency: whole domain fits the %d MiB budget; streaming one degenerate tile\n", budgetMB)
+		} else {
+			fmt.Printf("residency: %s under %d MiB (modeled %.3f s, overlap bound %.0f%%)\n",
+				r.Label, budgetMB, r.Cost.TotalSec, r.Cost.OverlapBound*100)
+			tilePlanes, k = r.TilePlanes, r.K
+		}
+	}
+	if temp {
+		if dir, err = os.MkdirTemp("", "mpdata-stream-"); err != nil {
+			return err
+		}
+	}
+	ec.Steps = cfg.Steps
+	ec.KSteps = k
+	st, err := stream.New(stream.Options{
+		Dir: dir, Exec: ec, Domain: domain, IORD: cfg.IORD,
+		TilePlanes: tilePlanes, NoPrefetch: noPrefetch, Resume: !temp,
+	})
+	if err != nil {
+		return err
+	}
+	cleanup := st.Close
+	if temp {
+		cleanup = func() error {
+			err := st.Remove()
+			_ = os.RemoveAll(dir)
+			return err
+		}
+	}
+	if err := st.Run(); err != nil {
+		_ = cleanup()
+		return err
+	}
+	ck, err := st.Checksums()
+	if err != nil {
+		_ = cleanup()
+		return err
+	}
+	fmt.Printf("computation: done; mass %.6f -> %.6f (drift %.2e), min %.3e\n",
+		ck.MassIn, ck.Sum, (ck.Sum-ck.MassIn)/ck.MassIn, ck.Min)
+	fmt.Println()
+	fmt.Print(perf.StreamTable(st.Plan(), st.Stats()).Render())
+	if !temp {
+		fmt.Printf("spill store kept in %s (rerun resumes from its checkpoint)\n", dir)
+	}
+	return cleanup()
 }
 
 // runScheduleReport compiles every strategy at the configured grid and

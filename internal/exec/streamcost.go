@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// This file prices out-of-core tile streaming (internal/stream) on the
+// machine model: for a residency choice — tile width (owned i-planes per
+// tile) times temporal-blocking factor k — it combines the modeled compute
+// time of one tile engine with disk-bandwidth arithmetic for the load/
+// writeback traffic, so the tuner can pick the residency that minimizes
+// wall time under a memory budget. exec cannot import internal/stream (the
+// dependency points the other way), so the tile geometry arithmetic is
+// mirrored here and pinned against stream's planner by the tune tests.
+
+// DefaultDiskBWBytes is the sustained sequential disk bandwidth assumed
+// when the caller has no measurement yet (a mid-range NVMe device; the
+// serving layer refines it with a live EWMA of observed stream throughput).
+const DefaultDiskBWBytes = 2.0e9
+
+// StreamChoice is one residency candidate: TilePlanes owned i-planes per
+// tile, advanced K steps per residency.
+type StreamChoice struct {
+	TilePlanes int
+	K          int
+}
+
+// StreamCostResult is the modeled cost of one streamed run.
+type StreamCostResult struct {
+	Choice StreamChoice
+	Domain grid.Size
+	Steps  int
+	// Tiles and Sweeps are the plan shape: ceil(NI/TilePlanes) tiles
+	// visited ceil(Steps/K) times.
+	Tiles  int
+	Sweeps int
+	// ExtLo/ExtHi are the k-step halo planes below/above an interior tile.
+	ExtLo, ExtHi int
+	// MaxResidentPlanes is the widest loaded tile (owned + halo planes).
+	MaxResidentPlanes int
+	// ResidentBytes estimates the peak in-memory footprint of the tile
+	// engine plus the pipeline's double buffers (see StreamResidentBytes).
+	ResidentBytes float64
+	// BytesMoved is the disk traffic of the whole run: per sweep, every
+	// tile's loaded planes are read and its owned planes written back.
+	BytesMoved float64
+	// IOSec and ComputeSec are whole-run totals of the two overlapped
+	// activities; SweepSec is one pipelined sweep (max of the two flows
+	// plus the fill/drain bubble) and TotalSec = Sweeps * SweepSec.
+	IOSec      float64
+	ComputeSec float64
+	SweepSec   float64
+	TotalSec   float64
+	// OverlapBound is the model's upper bound on the pipeline's overlap
+	// efficiency (compute time over sweep wall time): 1 means compute-
+	// bound streaming at in-memory speed, small values mean the disk is
+	// the bottleneck and a larger k (fewer sweeps) should pay off.
+	OverlapBound float64
+}
+
+// streamGeometry mirrors stream.NewPlan's cut: tiles of tilePlanes owned
+// planes, each loaded with a k-step halo that clamps at the domain edges
+// unless the i-boundary is periodic (where the full halo wraps mod NI).
+func streamGeometry(domain grid.Size, tilePlanes, extLo, extHi int, periodic bool) (tiles, loadedPlanes, maxLoaded int) {
+	if tilePlanes <= 0 || tilePlanes >= domain.NI {
+		return 1, domain.NI, domain.NI
+	}
+	for lo := 0; lo < domain.NI; lo += tilePlanes {
+		hi := min(lo+tilePlanes, domain.NI)
+		lo2, hi2 := extLo, extHi
+		if !periodic {
+			lo2 = min(lo2, lo)
+			hi2 = min(hi2, domain.NI-hi)
+		}
+		loaded := hi - lo + lo2 + hi2
+		tiles++
+		loadedPlanes += loaded
+		maxLoaded = max(maxLoaded, loaded)
+	}
+	return tiles, loadedPlanes, maxLoaded
+}
+
+// streamEnvCount is the number of stage environments the tile engine
+// allocates: one shared set for the single-island strategies, one per
+// island for islands-of-cores, one per core with core-level sub-islands.
+func streamEnvCount(cfg Config) int {
+	if cfg.Strategy != IslandsOfCores {
+		return 1
+	}
+	if cfg.CoreIslands {
+		return cfg.Machine.TotalCores()
+	}
+	return cfg.Machine.NumNodes()
+}
+
+// StreamResidentBytes estimates the peak in-memory footprint of a streamed
+// run at the given residency: every engine-held field (step inputs, each
+// environment's stage arrays, and the per-environment feedback clone) sized
+// to the widest loaded tile, plus the pipeline's four transfer buffers (two
+// load, two writeback). It is arithmetic only — cheap enough to binary-
+// search the widest tile fitting a budget before pricing it.
+func StreamResidentBytes(cfg Config, prog *stencil.Program, domain grid.Size, tilePlanes, k int) (float64, error) {
+	extLo, extHi, err := streamExtents(prog, k)
+	if err != nil {
+		return 0, err
+	}
+	tiles, _, maxLoaded := streamGeometry(domain, tilePlanes, extLo, extHi, cfg.Boundary == stencil.Periodic)
+	planeBytes := float64(domain.NJ) * float64(domain.NK) * grid.CellBytes
+	envs := streamEnvCount(cfg)
+	fields := len(prog.StepInputs) + envs*len(prog.Stages) + envs
+	resident := float64(fields) * float64(maxLoaded) * planeBytes
+	if tiles > 1 {
+		resident += 4 * float64(maxLoaded) * planeBytes
+	}
+	return resident, nil
+}
+
+// streamExtents returns the k-step halo of the program's feedback input
+// (the streamed field) along i.
+func streamExtents(prog *stencil.Program, k int) (extLo, extHi int, err error) {
+	an, err := stencil.Analyze(prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	fext, ok := an.InputExtents[prog.Feedback]
+	if !ok {
+		return 0, 0, fmt.Errorf("exec: stream cost: feedback input %q not in program", prog.Feedback)
+	}
+	e := fext.Scale(max(1, k))
+	return e.ILo, e.IHi, nil
+}
+
+// StreamCost prices one residency choice. cfg carries the per-tile executor
+// configuration (strategy, boundary, machine); the streamed field is the
+// program's declared feedback input. steps is the whole run's step count. The remainder sweep
+// (when K does not divide Steps) is priced at full K, an upper bound that
+// ranks identically.
+func StreamCost(cfg Config, prog *stencil.Program, domain grid.Size, steps int, choice StreamChoice, diskBW float64) (*StreamCostResult, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("exec: stream cost: steps must be positive, got %d", steps)
+	}
+	if diskBW <= 0 {
+		diskBW = DefaultDiskBWBytes
+	}
+	k := min(max(1, choice.K), steps)
+	extLo, extHi, err := streamExtents(prog, k)
+	if err != nil {
+		return nil, err
+	}
+	periodic := cfg.Boundary == stencil.Periodic
+	tp := choice.TilePlanes
+	if tp <= 0 || tp >= domain.NI {
+		tp = domain.NI
+		extLo, extHi = 0, 0
+	} else if periodic && tp+extLo+extHi > domain.NI {
+		return nil, fmt.Errorf(
+			"exec: stream cost: k-step halo (%d+%d planes) plus tile width %d exceeds the periodic domain NI=%d",
+			extLo, extHi, tp, domain.NI)
+	}
+	tiles, loadedPlanes, maxLoaded := streamGeometry(domain, tp, extLo, extHi, periodic)
+	sweeps := (steps + k - 1) / k
+
+	// Compute: model the widest tile engine advancing k steps, then scale
+	// linearly in loaded planes across the sweep's tiles.
+	tileCfg := cfg
+	tileCfg.Steps = k
+	if tileCfg.Strategy == IslandsOfCores {
+		tileCfg.KSteps = k
+	} else {
+		tileCfg.KSteps = 0
+	}
+	mres, err := Model(tileCfg, prog, grid.Sz(maxLoaded, domain.NJ, domain.NK))
+	if err != nil {
+		return nil, fmt.Errorf("exec: stream cost: tile model: %w", err)
+	}
+	computeSweep := mres.TotalTime / float64(maxLoaded) * float64(loadedPlanes)
+
+	planeBytes := float64(domain.NJ) * float64(domain.NK) * grid.CellBytes
+	readSweep := float64(loadedPlanes) * planeBytes
+	writeSweep := float64(domain.NI) * planeBytes
+	ioSweep := (readSweep + writeSweep) / diskBW
+	// The pipeline overlaps load/writeback with compute but must fill with
+	// the first tile's load and drain with the last tile's writeback.
+	bubble := (float64(maxLoaded) + float64(tp)) * planeBytes / diskBW
+	sweepSec := math.Max(computeSweep, ioSweep) + bubble
+
+	resident, err := StreamResidentBytes(cfg, prog, domain, tp, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamCostResult{
+		Choice:            StreamChoice{TilePlanes: tp, K: k},
+		Domain:            domain,
+		Steps:             steps,
+		Tiles:             tiles,
+		Sweeps:            sweeps,
+		ExtLo:             extLo,
+		ExtHi:             extHi,
+		MaxResidentPlanes: maxLoaded,
+		ResidentBytes:     resident,
+		BytesMoved:        float64(sweeps) * (readSweep + writeSweep),
+		IOSec:             float64(sweeps) * ioSweep,
+		ComputeSec:        float64(sweeps) * computeSweep,
+		SweepSec:          sweepSec,
+		TotalSec:          float64(sweeps) * sweepSec,
+	}
+	if sweepSec > 0 {
+		res.OverlapBound = computeSweep / sweepSec
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"testing"
+
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+func streamTestSetup(t *testing.T) (Config, *stencil.Program) {
+	t.Helper()
+	m, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mpdata.NewProgramWithOptions(mpdata.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Machine: m, Strategy: IslandsOfCores, Boundary: stencil.Clamp, Steps: 1}, &prog.Program
+}
+
+func TestStreamCostArithmetic(t *testing.T) {
+	cfg, prog := streamTestSetup(t)
+	domain := grid.Sz(96, 16, 16)
+
+	res, err := StreamCost(cfg, prog, domain, 10, StreamChoice{TilePlanes: 16, K: 2}, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles != 6 || res.Sweeps != 5 {
+		t.Fatalf("plan shape: tiles %d sweeps %d, want 6 and 5", res.Tiles, res.Sweeps)
+	}
+	if res.ExtLo != 6 || res.ExtHi != 6 {
+		t.Fatalf("k=2 halo: [%d,%d], want [6,6]", res.ExtLo, res.ExtHi)
+	}
+	if res.MaxResidentPlanes != 16+12 {
+		t.Fatalf("MaxResidentPlanes %d, want 28", res.MaxResidentPlanes)
+	}
+	if res.BytesMoved <= 0 || res.ResidentBytes <= 0 {
+		t.Fatalf("missing accounting: %+v", res)
+	}
+	if res.OverlapBound <= 0 || res.OverlapBound > 1 {
+		t.Fatalf("OverlapBound %v out of (0,1]", res.OverlapBound)
+	}
+	if res.TotalSec < res.ComputeSec || res.TotalSec < res.IOSec {
+		t.Fatalf("total %v below a component (compute %v, io %v)", res.TotalSec, res.ComputeSec, res.IOSec)
+	}
+
+	// A degenerate whole-domain choice has one tile and no halo.
+	res, err = StreamCost(cfg, prog, domain, 10, StreamChoice{TilePlanes: 0, K: 2}, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles != 1 || res.ExtLo != 0 || res.ExtHi != 0 || res.MaxResidentPlanes != domain.NI {
+		t.Fatalf("degenerate plan: %+v", res)
+	}
+}
+
+func TestStreamCostPeriodicInfeasible(t *testing.T) {
+	cfg, prog := streamTestSetup(t)
+	cfg.Boundary = stencil.Periodic
+	// k=4 halo is 12+12 planes; a 10-plane tile cannot fit beside it in a
+	// 24-plane periodic ring.
+	if _, err := StreamCost(cfg, prog, grid.Sz(24, 8, 8), 8, StreamChoice{TilePlanes: 10, K: 4}, 1e9); err == nil {
+		t.Fatal("periodic halo overflow accepted")
+	}
+}
+
+func TestStreamResidentBytesMonotone(t *testing.T) {
+	cfg, prog := streamTestSetup(t)
+	domain := grid.Sz(128, 16, 16)
+	prev := 0.0
+	for _, w := range []int{4, 8, 16, 32, 64} {
+		b, err := StreamResidentBytes(cfg, prog, domain, w, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= prev {
+			t.Fatalf("resident bytes not increasing at width %d: %v <= %v", w, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestStreamCostDiskBound(t *testing.T) {
+	cfg, prog := streamTestSetup(t)
+	domain := grid.Sz(96, 16, 16)
+	choice := StreamChoice{TilePlanes: 24, K: 1}
+
+	slow, err := StreamCost(cfg, prog, domain, 8, choice, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := StreamCost(cfg, prog, domain, 8, choice, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TotalSec <= fast.TotalSec {
+		t.Fatalf("slower disk not slower: %v <= %v", slow.TotalSec, fast.TotalSec)
+	}
+	if slow.OverlapBound >= fast.OverlapBound {
+		t.Fatalf("slower disk should bound overlap lower: %v >= %v", slow.OverlapBound, fast.OverlapBound)
+	}
+	// On a crawling disk, doubling k (half the sweeps) must cut the total.
+	k2, err := StreamCost(cfg, prog, domain, 8, StreamChoice{TilePlanes: 24, K: 2}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.TotalSec >= slow.TotalSec {
+		t.Fatalf("k=2 not faster on a disk-bound stream: %v >= %v", k2.TotalSec, slow.TotalSec)
+	}
+}

@@ -1,0 +1,16 @@
+package grid
+
+import "unsafe"
+
+// float64Bytes reinterprets a float64 slice as its backing bytes, letting
+// plane-file I/O move cells with single positioned reads and writes instead
+// of a per-cell encode loop. The view aliases v: no allocation, and the
+// platform's native float64 layout is the file format (plane files are
+// little-endian on every platform the repo targets; the header magic would
+// catch a cross-endian transplant as a size mismatch).
+func float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*CellBytes)
+}

@@ -177,21 +177,38 @@ func (f *Field) CopyFrom(src *Field) {
 	copy(f.Data, src.Data)
 }
 
+// SumAccumulator is a Neumaier compensated summation in progress. It exists
+// as a standalone type so an out-of-core scan over a stored field (one plane
+// at a time) runs the exact same sequence of floating-point operations as
+// Field.Sum over the resident field — the streamed checksum is bit-identical
+// to the resident one, not merely close.
+type SumAccumulator struct {
+	sum, comp float64
+}
+
+// Add folds one value into the accumulator.
+func (a *SumAccumulator) Add(v float64) {
+	t := a.sum + v
+	if abs(a.sum) >= abs(v) {
+		a.comp += (a.sum - t) + v
+	} else {
+		a.comp += (v - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Value returns the compensated total so far.
+func (a *SumAccumulator) Value() float64 { return a.sum + a.comp }
+
 // Sum returns the sum of all cells (used for conservation checks).
 // It uses Neumaier compensated summation: conservation tests need tight
 // tolerances even when large terms cancel.
 func (f *Field) Sum() float64 {
-	var sum, comp float64
+	var acc SumAccumulator
 	for _, v := range f.Data {
-		t := sum + v
-		if abs(sum) >= abs(v) {
-			comp += (sum - t) + v
-		} else {
-			comp += (v - t) + sum
-		}
-		sum = t
+		acc.Add(v)
 	}
-	return sum + comp
+	return acc.Value()
 }
 
 func abs(x float64) float64 {

@@ -1,0 +1,29 @@
+//go:build linux
+
+package grid
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps length bytes of f read-only. Returns (nil, nil) when the
+// mapping is not worth attempting (zero length).
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	if length <= 0 {
+		return nil, nil
+	}
+	mm, err := syscall.Mmap(int(f.Fd()), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	// The streamed access pattern is a strict forward scan over tiles;
+	// readahead hides most of the major-fault latency. Advice failures are
+	// harmless, so the return value is ignored.
+	_ = syscall.Madvise(mm, syscall.MADV_SEQUENTIAL)
+	return mm, nil
+}
+
+func munmapFile(mm []byte) {
+	_ = syscall.Munmap(mm)
+}

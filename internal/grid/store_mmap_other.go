@@ -1,0 +1,12 @@
+//go:build !linux
+
+package grid
+
+import "os"
+
+// mmapFile reports mmap as unavailable; PlaneFile falls back to pread.
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	return nil, nil
+}
+
+func munmapFile(mm []byte) {}

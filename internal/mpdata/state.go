@@ -103,6 +103,79 @@ func (s *State) SetSphere(ci, cj, ck, rad, amp, bg float64) {
 	})
 }
 
+// SetStandardProblem writes the repo's standard demo problem — a Gaussian
+// blob at the domain center in solid-body rotation around the vertical axis —
+// shared by the serving engine, mpdata-sim and the out-of-core streaming
+// executor so their results are comparable bit for bit.
+func (s *State) SetStandardProblem() {
+	s.StandardProblemWindow(s.Domain, func(li int) int { return li })
+}
+
+// StandardProblemWindow fills s — a tile of NI_t i-planes cut from a larger
+// global domain — with the standard problem, where tile plane li corresponds
+// to global plane gi(li). Every cell is evaluated with the exact expressions
+// of the full-domain fill at its global coordinates, so the tile's planes are
+// bit-identical to the corresponding planes of SetStandardProblem on the
+// global domain (the streamed-vs-resident identity rests on this).
+func (s *State) StandardProblemWindow(global grid.Size, gi func(li int) int) {
+	ci := float64(global.NI) / 2
+	cj := float64(global.NJ) / 2
+	ck := float64(global.NK) / 2
+	sigma := float64(global.NK) / 4
+	s.Psi.FillFunc(func(i, j, k int) float64 {
+		return standardPsiAt(gi(i), j, k, ci, cj, ck, sigma)
+	})
+	s.StandardVelocitiesWindow(global, gi)
+}
+
+// StandardVelocitiesWindow fills only the velocity and density fields of the
+// standard problem for a tile window (see StandardProblemWindow). The
+// streaming executor calls it once per tile residency — psi comes from the
+// on-disk store, but the analytic velocities are cheaper to recompute at
+// global coordinates than to spill and reload.
+func (s *State) StandardVelocitiesWindow(global grid.Size, gi func(li int) int) {
+	ci := float64(global.NI) / 2
+	cj := float64(global.NJ) / 2
+	omega := 0.5 / (ci + cj)
+	// Solid-body rotation evaluated at face centers, as in
+	// SetRotationVelocityZ but at global plane indices.
+	s.U1.FillFunc(func(i, j, k int) float64 {
+		return -omega * (float64(j) + 0.5 - cj)
+	})
+	s.U2.FillFunc(func(i, j, k int) float64 {
+		return omega * (float64(gi(i)) + 0.5 - ci)
+	})
+	s.U3.Fill(0)
+	s.H.Fill(1)
+}
+
+// standardPsiAt is the standard problem's initial psi at global cell (i,j,k):
+// SetGaussian's expression with amplitude 1 over background 0.1.
+func standardPsiAt(i, j, k int, ci, cj, ck, sigma float64) float64 {
+	di := float64(i) + 0.5 - ci
+	dj := float64(j) + 0.5 - cj
+	dk := float64(k) + 0.5 - ck
+	r2 := di*di + dj*dj + dk*dk
+	return 0.1 + 1*math.Exp(-r2/(2*sigma*sigma))
+}
+
+// StandardPsiPlane fills dst (NJ*NK cells, j-major) with global i-plane gi of
+// the standard problem's initial psi — the plane-at-a-time fill the streaming
+// executor uses to seed its on-disk store without materializing the domain.
+func StandardPsiPlane(dst []float64, global grid.Size, gi int) {
+	ci := float64(global.NI) / 2
+	cj := float64(global.NJ) / 2
+	ck := float64(global.NK) / 2
+	sigma := float64(global.NK) / 4
+	n := 0
+	for j := 0; j < global.NJ; j++ {
+		for k := 0; k < global.NK; k++ {
+			dst[n] = standardPsiAt(gi, j, k, ci, cj, ck, sigma)
+			n++
+		}
+	}
+}
+
 // MaxCourant returns max(|c1|+|c2|+|c3|) over the grid, the advective
 // stability number of the donor-cell pass.
 func (s *State) MaxCourant() float64 {

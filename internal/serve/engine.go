@@ -114,12 +114,11 @@ func NewMPDATAEngine(n NormSpec) (Engine, error) {
 
 // Reset writes the standard test problem (a Gaussian blob in solid-body
 // rotation, the same initial conditions mpdata-sim uses) into the shared
-// fields and re-imports them into the islands' private halo buffers.
+// fields and re-imports them into the islands' private halo buffers. The
+// SetStandardProblem fill is what streamed jobs seed their spill stores
+// with, so a streamed job's checksums are bit-comparable to a resident run.
 func (e *mpdataEngine) Reset() error {
-	d := e.ns.Domain
-	ci, cj, ck := float64(d.NI)/2, float64(d.NJ)/2, float64(d.NK)/2
-	e.state.SetGaussian(ci, cj, ck, float64(d.NK)/4, 1, 0.1)
-	e.state.SetRotationVelocityZ(0.5 / (ci + cj))
+	e.state.SetStandardProblem()
 	// The swap+halo feedback mode keeps private psi buffers per island;
 	// re-import the freshly written shared field (no-op otherwise).
 	e.runner.ReloadFeedback()

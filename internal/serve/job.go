@@ -36,6 +36,11 @@ type Event struct {
 	// Step is the number of completed steps; Steps the requested total.
 	Step  int `json:"step"`
 	Steps int `json:"steps"`
+	// Tile/Tiles report a streamed job's tile-granular progress: tile
+	// residencies completed over the whole run's total (zero on resident
+	// jobs, whose progress is step-granular only).
+	Tile  int `json:"tile,omitempty"`
+	Tiles int `json:"tiles,omitempty"`
 	// Error carries the failure (or cancellation reason) verbatim.
 	Error string `json:"error,omitempty"`
 }
@@ -77,6 +82,9 @@ type Result struct {
 	// Profile, when the spec requested it, embeds the same per-phase
 	// breakdown mpdata-sim -profile prints.
 	Profile *ProfileReport `json:"profile,omitempty"`
+	// Stream, on streamed jobs, reports the out-of-core run: the chosen
+	// residency, bytes moved and the measured compute/I-O overlap.
+	Stream *StreamReport `json:"stream,omitempty"`
 }
 
 // ProfileReport is the runtime profile of a job: the rendered table plus the
@@ -225,6 +233,16 @@ func (j *Job) progress(step int) {
 	j.step = step
 	j.mu.Unlock()
 	j.publish(Event{Type: "progress", State: StateRunning, Step: step, Steps: j.ns.Steps})
+}
+
+// progressTiles records a streamed job's tile-granular progress: step counts
+// completed whole steps (durable sweeps), tile/tiles the completed residencies
+// over the run's total.
+func (j *Job) progressTiles(step, tile, tiles int) {
+	j.mu.Lock()
+	j.step = step
+	j.mu.Unlock()
+	j.publish(Event{Type: "progress", State: StateRunning, Step: step, Steps: j.ns.Steps, Tile: tile, Tiles: tiles})
 }
 
 // finish performs the terminal transition exactly once, reporting whether

@@ -51,6 +51,15 @@ type Metrics struct {
 	// at exposition time.
 	TunerPinned atomic.Uint64
 
+	// Stream counters cover out-of-core jobs (docs/STREAMING.md):
+	// completed streamed jobs, tile residencies, spill-store traffic, and
+	// jobs that resumed a named store's checkpoint.
+	StreamJobs         atomic.Uint64
+	StreamTiles        atomic.Uint64
+	StreamBytesRead    atomic.Uint64
+	StreamBytesWritten atomic.Uint64
+	StreamResumed      atomic.Uint64
+
 	mu    sync.Mutex
 	steps map[string]*histogram // per-strategy step latency
 }
@@ -68,12 +77,17 @@ const stepLabelOther = "other"
 // executor's strategy names plus the core-islands variant. ObserveStep
 // validates against it so a hostile or buggy caller cannot mint one time
 // series per request string and explode the exposition's cardinality.
+// streamStepLabel is the step-histogram label of streamed jobs, whose
+// dispatch unit (one whole tile sweep) is not comparable to a resident step.
+const streamStepLabel = "streamed"
+
 var validStepLabels = func() map[string]struct{} {
 	v := make(map[string]struct{})
 	for _, s := range []exec.Strategy{exec.Original, exec.Plus31D, exec.IslandsOfCores} {
 		v[s.String()] = struct{}{}
 	}
 	v[exec.IslandsOfCores.String()+"+core-islands"] = struct{}{}
+	v[streamStepLabel] = struct{}{}
 	return v
 }()
 
@@ -115,6 +129,10 @@ type gauges struct {
 	TunerExplored   uint64
 	TunerSeedErrors uint64
 	TunerClasses    int
+
+	// StreamDiskBW is the live disk-bandwidth EWMA in bytes/s that prices
+	// streamed residencies (0 until a streamed job completes).
+	StreamDiskBW float64
 }
 
 // write renders the Prometheus text exposition format.
@@ -156,6 +174,12 @@ func (m *Metrics) write(w io.Writer, g gauges) {
 	c("serve_tuner_pinned_total", "Jobs that opted out of tuning via spec pin.", m.TunerPinned.Load())
 	c("serve_tuner_seed_errors_total", "Problem classes whose candidate seeding failed (passthrough).", g.TunerSeedErrors)
 	gauge("serve_tuner_classes", "Distinct problem classes the tuner has seen.", int64(g.TunerClasses))
+	c("serve_stream_jobs_total", "Streamed (out-of-core) jobs that completed successfully.", m.StreamJobs.Load())
+	c("serve_stream_tiles_total", "Tile residencies completed by streamed jobs.", m.StreamTiles.Load())
+	c("serve_stream_bytes_read_total", "Bytes read from spill stores by streamed jobs.", m.StreamBytesRead.Load())
+	c("serve_stream_bytes_written_total", "Bytes written to spill stores by streamed jobs.", m.StreamBytesWritten.Load())
+	c("serve_stream_resumed_total", "Streamed jobs that resumed a named store's checkpoint.", m.StreamResumed.Load())
+	fmt.Fprintf(w, "# HELP serve_stream_disk_bw_bytes Live disk-bandwidth EWMA pricing streamed residencies (bytes/s).\n# TYPE serve_stream_disk_bw_bytes gauge\nserve_stream_disk_bw_bytes %g\n", g.StreamDiskBW)
 
 	fmt.Fprintf(w, "# HELP serve_step_seconds Per-step wall latency by strategy.\n# TYPE serve_step_seconds histogram\n")
 	m.mu.Lock()

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +44,14 @@ type Options struct {
 	// builds the standard model-seeded one). Nil serves requests exactly
 	// as specified.
 	Tuner *tune.Tuner
+	// SpillDir is the root directory for streamed jobs' tile stores
+	// ("" = a "mpdata-spill" directory under the OS temp dir). Named
+	// stores (spec stream_id) live at SpillDir/stream-<id> and survive
+	// their jobs; anonymous stores are private and removed.
+	SpillDir string
+	// StreamBudgetMB is the default resident-memory budget of streamed
+	// jobs whose spec leaves memory_budget_mb unset (0 = 512).
+	StreamBudgetMB int
 	// Logf receives operational log lines (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -62,6 +73,12 @@ type Server struct {
 	running  atomic.Int64
 	draining atomic.Bool
 
+	// diskBWBits is an EWMA of the disk throughput observed by completed
+	// streamed jobs (float64 bits; 0 = no observation yet). It feeds the
+	// residency picker, so the tile-width/k trade tracks the actual store
+	// device instead of the model's default.
+	diskBWBits atomic.Uint64
+
 	// jobsWG tracks admitted jobs until their terminal transition; drain
 	// waits on it. dispatchWG tracks the dispatcher goroutines.
 	jobsWG     sync.WaitGroup
@@ -77,12 +94,23 @@ func NewServer(opts Options) *Server {
 	}
 	s := &Server{
 		opts:    opts,
-		pool:    NewPool(opts.Slots, opts.MaxCached, opts.EngineFactory),
 		queue:   newQueue(opts.QueueDepth, opts.RetryAfter),
 		metrics: newMetrics(),
 		tuner:   opts.Tuner,
 		jobs:    make(map[string]*Job),
 	}
+	factory := opts.EngineFactory
+	if factory == nil {
+		// The default factory routes streamed specs to the out-of-core
+		// engine; a custom factory (tests) owns the whole decision.
+		factory = func(ns NormSpec) (Engine, error) {
+			if ns.Streamed {
+				return newStreamEngine(s, ns)
+			}
+			return NewMPDATAEngine(ns)
+		}
+	}
+	s.pool = NewPool(opts.Slots, opts.MaxCached, factory)
 	for i := 0; i < s.pool.Capacity(); i++ {
 		s.dispatchWG.Add(1)
 		go s.dispatch()
@@ -92,6 +120,49 @@ func NewServer(opts Options) *Server {
 
 // Metrics exposes the server's counters (tests assert on them directly).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// spillDir resolves the streamed jobs' store root.
+func (s *Server) spillDir() string {
+	if s.opts.SpillDir != "" {
+		return s.opts.SpillDir
+	}
+	return filepath.Join(os.TempDir(), "mpdata-spill")
+}
+
+// streamBudgetMB resolves the default streamed-job memory budget.
+func (s *Server) streamBudgetMB() int {
+	if s.opts.StreamBudgetMB > 0 {
+		return s.opts.StreamBudgetMB
+	}
+	return 512
+}
+
+// diskBWEstimate returns the live disk-bandwidth EWMA in bytes/s (0 before
+// any streamed job completed — the residency picker then uses the model's
+// default device).
+func (s *Server) diskBWEstimate() float64 {
+	return math.Float64frombits(s.diskBWBits.Load())
+}
+
+// observeDiskBW folds one streamed job's measured store throughput into the
+// EWMA (alpha 0.3: a few jobs converge, one outlier does not whipsaw the
+// residency picker).
+func (s *Server) observeDiskBW(bw float64) {
+	if bw <= 0 {
+		return
+	}
+	for {
+		old := s.diskBWBits.Load()
+		prev := math.Float64frombits(old)
+		next := bw
+		if prev > 0 {
+			next = 0.7*prev + 0.3*bw
+		}
+		if s.diskBWBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
 
 // ReplicaStats is the JSON payload of GET /v1/stats: the cheap load/health
 // snapshot a fleet router polls to maintain membership and steer
@@ -247,6 +318,12 @@ func (s *Server) tuneSpec(ns NormSpec) (NormSpec, *tune.Decision) {
 	if s.tuner == nil {
 		return ns, nil
 	}
+	if ns.Streamed {
+		// A streamed job's tunable — the residency — is picked by its
+		// engine under the memory budget; the knob tuner has nothing to
+		// decide (and must not rewrite the cache key away from the store).
+		return ns, nil
+	}
 	if ns.Pin {
 		s.metrics.TunerPinned.Add(1)
 		return ns, nil
@@ -294,21 +371,47 @@ func (s *Server) executeJob(j *Job, lease *Lease, tuned NormSpec, dec *tune.Deci
 	var runErr error
 	start := time.Now()
 	steps := 0
-	// One engine Step is one dispatch unit: a whole k-step block under
-	// temporal blocking (Normalize — and the tuner's feasibility filter —
-	// guarantee the stride divides Steps).
-	stride := tuned.StepsPerDispatch()
-	for st := 0; st < j.ns.Steps; st += stride {
-		if j.ctx.Err() != nil {
-			break
+	se, streamed := eng.(StreamEngine)
+	if streamed {
+		// A streamed engine's dispatch unit is one whole sweep (every
+		// tile one residency); progress is durable-step-granular, with
+		// tile-granular events forwarded from the streamer. The latency
+		// histogram uses the dedicated "streamed" label — a sweep is not
+		// comparable to a resident step.
+		steps = se.StepsDone() // a resumed store may already be partly done
+		se.SetProgress(func(p TileProgress) {
+			s.metrics.StreamTiles.Add(1)
+			j.progressTiles(p.StepsDone, p.Sweep*p.Tiles+p.Tile+1, p.Sweeps*p.Tiles)
+		})
+		for !se.Done() {
+			if j.ctx.Err() != nil {
+				break
+			}
+			t0 := time.Now()
+			if runErr = eng.Step(); runErr != nil {
+				break
+			}
+			s.metrics.ObserveStep(streamStepLabel, time.Since(t0))
+			steps = se.StepsDone()
+			j.progress(steps)
 		}
-		t0 := time.Now()
-		if runErr = eng.Step(); runErr != nil {
-			break
+	} else {
+		// One engine Step is one dispatch unit: a whole k-step block under
+		// temporal blocking (Normalize — and the tuner's feasibility filter —
+		// guarantee the stride divides Steps).
+		stride := tuned.StepsPerDispatch()
+		for st := 0; st < j.ns.Steps; st += stride {
+			if j.ctx.Err() != nil {
+				break
+			}
+			t0 := time.Now()
+			if runErr = eng.Step(); runErr != nil {
+				break
+			}
+			s.metrics.ObserveStep(label, time.Since(t0))
+			steps = st + stride
+			j.progress(steps)
 		}
-		s.metrics.ObserveStep(label, time.Since(t0))
-		steps = st + stride
-		j.progress(steps)
 	}
 	wall := time.Since(start)
 	close(watcherStop)
@@ -362,6 +465,23 @@ func (s *Server) executeJob(j *Job, lease *Lease, tuned NormSpec, dec *tune.Deci
 			Steps:        steps,
 			Explored:     dec.Explore,
 		})
+	}
+	if streamed {
+		rep := se.Report()
+		result.Stream = rep
+		if rep != nil {
+			s.metrics.StreamJobs.Add(1)
+			s.metrics.StreamBytesRead.Add(uint64(rep.BytesRead))
+			s.metrics.StreamBytesWritten.Add(uint64(rep.BytesWritten))
+			if rep.ResumedSteps > 0 {
+				s.metrics.StreamResumed.Add(1)
+			}
+			s.observeDiskBW(rep.DiskBWBytes)
+		}
+		// Never cache a streamed engine: the store's checkpoint, not a
+		// warm engine, is what makes the follow-up job cheap, and Close
+		// is what removes an anonymous store.
+		return false, StateSucceeded, "", result
 	}
 	return true, StateSucceeded, "", result
 }
@@ -558,6 +678,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(spec)
 	if err != nil {
 		var qf *ErrQueueFull
+		var tooLarge *ErrGridTooLarge
 		switch {
 		case errors.Is(err, ErrDraining):
 			w.Header().Set("Retry-After", "10")
@@ -565,6 +686,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &qf):
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds(qf.RetryAfter)))
 			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		case errors.As(err, &tooLarge):
+			// 413: the domain, not the request framing, is too large. The
+			// resident-class error names the streamed job class, so a
+			// client holding a too-big grid knows its next move.
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: err.Error()})
 		default:
 			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		}
@@ -697,6 +823,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CacheEvicted:  ps.Evictions,
 		Running:       int(s.running.Load()),
 		Draining:      s.draining.Load(),
+		StreamDiskBW:  s.diskBWEstimate(),
 	}
 	if s.tuner != nil {
 		tc := s.tuner.Counters()

@@ -23,13 +23,41 @@ import (
 // rejected with a diagnostic at the spec boundary instead of reaching the
 // allocator or panicking deep inside NewRunner.
 const (
-	// MaxGridCells bounds the accepted domain size.
+	// MaxGridCells bounds the domain a resident (in-memory) job may claim;
+	// larger domains are rejected with an *ErrGridTooLarge pointing at the
+	// streamed job class.
 	MaxGridCells = int64(1) << 31
+	// MaxStreamCells bounds the domain of a streamed (out-of-core) job —
+	// the spill store still has to fit on disk.
+	MaxStreamCells = int64(1) << 40
 	// MaxSteps bounds the accepted step count of one job.
 	MaxSteps = 1_000_000
 	// MaxProcessors is the simulated UV 2000's socket count.
 	MaxProcessors = 14
 )
+
+// ErrGridTooLarge rejects a domain over its job class's cell bound. The
+// server maps it to HTTP 413; for a resident job the message names the
+// streamed job class, which accepts domains up to MaxStreamCells.
+type ErrGridTooLarge struct {
+	// Grid is the spec's grid string verbatim.
+	Grid string
+	// Cells and Limit are the requested and permitted cell counts.
+	Cells, Limit int64
+	// Streamed reports which class's bound was exceeded.
+	Streamed bool
+}
+
+func (e *ErrGridTooLarge) Error() string {
+	cells := fmt.Sprintf("%d cells", e.Cells)
+	if e.Cells < 0 {
+		cells = "cell count overflows"
+	}
+	if e.Streamed {
+		return fmt.Sprintf("grid %s (%s) exceeds the streamed limit of %d cells", e.Grid, cells, e.Limit)
+	}
+	return fmt.Sprintf(`grid %s (%s) exceeds the resident limit of %d cells; resubmit with "streamed": true (and a memory_budget_mb) to run it out of core`, e.Grid, cells, e.Limit)
+}
 
 // Spec is one simulation job request: the wire format of POST /v1/jobs and
 // the validated form of the mpdata-sim flags. The zero value of every
@@ -79,6 +107,20 @@ type Spec struct {
 	// TimeoutMs is the job deadline in milliseconds, counted from
 	// submission (covers queue wait). 0 means no deadline.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Streamed runs the job out of core (docs/STREAMING.md): the domain is
+	// cut into disk-backed tiles streamed through a resident engine under
+	// MemoryBudgetMB, so grids up to MaxStreamCells are accepted. The
+	// residency (tile width and temporal factor k) is chosen by the cost
+	// model, so ksteps must be left unset.
+	Streamed bool `json:"streamed,omitempty"`
+	// MemoryBudgetMB caps a streamed job's resident footprint in MiB
+	// (0 = the server's default budget). Ignored for resident jobs.
+	MemoryBudgetMB int `json:"memory_budget_mb,omitempty"`
+	// StreamID names a durable spill store for a streamed job. A job
+	// resubmitted with the same StreamID resumes from the store's
+	// checkpoint (a kill loses at most one tile); anonymous streamed jobs
+	// get a private store removed when they finish.
+	StreamID string `json:"stream_id,omitempty"`
 }
 
 // NormSpec is a validated, fully defaulted spec in the executor's types.
@@ -100,11 +142,16 @@ type NormSpec struct {
 	Pin                 bool
 	Profile             bool
 	TimeoutMs           int
+	Streamed            bool
+	MemoryBudgetMB      int
+	StreamID            string
 }
 
 // ParseGrid parses "NIxNJxNK", rejecting non-positive extents and products
-// that overflow the supported cell count. It is the shared -grid validator
-// of mpdata-sim and the server.
+// over MaxStreamCells (the largest any job class accepts) with a typed
+// *ErrGridTooLarge. It is the shared -grid validator of mpdata-sim and the
+// server; the tighter resident bound is applied by Normalize, which knows
+// whether the job is streamed.
 func ParseGrid(s string) (grid.Size, error) {
 	var ni, nj, nk int
 	var tail string
@@ -117,9 +164,13 @@ func ParseGrid(s string) (grid.Size, error) {
 		return grid.Size{}, fmt.Errorf("grid extents must be positive: %s", s)
 	}
 	// Bound each extent before multiplying so the product cannot overflow.
-	if int64(ni) > MaxGridCells || int64(nj) > MaxGridCells || int64(nk) > MaxGridCells ||
-		int64(ni)*int64(nj) > MaxGridCells || int64(ni)*int64(nj)*int64(nk) > MaxGridCells {
-		return grid.Size{}, fmt.Errorf("grid %s exceeds the supported %d cells", s, MaxGridCells)
+	if int64(ni) > MaxStreamCells || int64(nj) > MaxStreamCells || int64(nk) > MaxStreamCells ||
+		int64(ni)*int64(nj) > MaxStreamCells || int64(ni)*int64(nj)*int64(nk) > MaxStreamCells {
+		cells := int64(-1) // overflowed past any representable product
+		if int64(ni) <= MaxStreamCells && int64(nj) <= MaxStreamCells && int64(ni)*int64(nj) <= MaxStreamCells {
+			cells = int64(ni) * int64(nj) * int64(nk)
+		}
+		return grid.Size{}, &ErrGridTooLarge{Grid: s, Cells: cells, Limit: MaxStreamCells, Streamed: true}
 	}
 	return sz, nil
 }
@@ -212,6 +263,11 @@ func (s Spec) Normalize() (NormSpec, error) {
 	if n.Domain, err = ParseGrid(s.Grid); err != nil {
 		return n, err
 	}
+	n.Streamed = s.Streamed
+	cells := int64(n.Domain.NI) * int64(n.Domain.NJ) * int64(n.Domain.NK)
+	if !n.Streamed && cells > MaxGridCells {
+		return n, &ErrGridTooLarge{Grid: s.Grid, Cells: cells, Limit: MaxGridCells}
+	}
 	if err = ValidateSteps(s.Steps); err != nil {
 		return n, err
 	}
@@ -274,6 +330,31 @@ func (s Spec) Normalize() (NormSpec, error) {
 		return n, fmt.Errorf("timeout_ms must be non-negative, got %d", s.TimeoutMs)
 	}
 	n.TimeoutMs = s.TimeoutMs
+	if s.MemoryBudgetMB < 0 {
+		return n, fmt.Errorf("memory_budget_mb must be non-negative, got %d", s.MemoryBudgetMB)
+	}
+	if err := validateStreamID(s.StreamID); err != nil {
+		return n, err
+	}
+	if !n.Streamed {
+		if s.MemoryBudgetMB != 0 {
+			return n, fmt.Errorf("memory_budget_mb applies only to streamed jobs")
+		}
+		if s.StreamID != "" {
+			return n, fmt.Errorf("stream_id applies only to streamed jobs")
+		}
+	}
+	n.MemoryBudgetMB = s.MemoryBudgetMB
+	n.StreamID = s.StreamID
+	if n.Streamed {
+		// Streamed jobs derive their temporal factor k from the memory
+		// budget (the tile engines' k is the residency k, not the spec's),
+		// so an explicit ksteps is a contradiction, not a knob.
+		if s.KSteps > 1 {
+			return n, fmt.Errorf("ksteps does not apply to streamed jobs (the residency picker derives k from the memory budget)")
+		}
+		return n, nil
+	}
 	// With every field resolved, reject a temporal-blocking factor the
 	// compiled schedule would silently drop to 1 — same check and error
 	// text as mpdata-sim -ksteps.
@@ -281,6 +362,26 @@ func (s Spec) Normalize() (NormSpec, error) {
 		return n, err
 	}
 	return n, nil
+}
+
+// validateStreamID bounds a durable stream store name to a filesystem-safe
+// charset — it becomes a directory name under the server's spill root.
+func validateStreamID(id string) error {
+	if len(id) > 64 {
+		return fmt.Errorf("stream_id longer than 64 characters")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("stream_id may use only letters, digits, '.', '_' and '-', got %q", id)
+		}
+	}
+	if id == "." || id == ".." {
+		return fmt.Errorf("stream_id %q is not a valid store name", id)
+	}
+	return nil
 }
 
 // Validate checks the spec without returning the normalized form.
@@ -320,6 +421,13 @@ type CacheKey struct {
 	BlockI              int
 	DisableFusion       bool
 	DisableHaloExchange bool
+	// Streamed jobs never share an engine with resident jobs of the same
+	// geometry (their engine is a tile streamer, not a whole-domain
+	// runner), and two streamed jobs share one only for the same store and
+	// budget — hence all three fields key the cache.
+	Streamed       bool
+	MemoryBudgetMB int
+	StreamID       string
 }
 
 // Key returns the schedule-cache key of the normalized spec.
@@ -338,6 +446,9 @@ func (n NormSpec) Key() CacheKey {
 		BlockI:              n.BlockI,
 		DisableFusion:       n.DisableFusion,
 		DisableHaloExchange: n.DisableHaloExchange,
+		Streamed:            n.Streamed,
+		MemoryBudgetMB:      n.MemoryBudgetMB,
+		StreamID:            n.StreamID,
 	}
 }
 

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"testing"
+
+	"islands/internal/exec"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// solverRun advances the standard problem with the sequential reference
+// solver under the given boundary condition.
+func solverRun(t *testing.T, domain grid.Size, bc stencil.Boundary, steps int) *grid.Field {
+	t.Helper()
+	state := mpdata.NewState(domain)
+	state.SetStandardProblem()
+	solver, err := mpdata.NewSolver(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.SetBoundary(bc)
+	solver.Step(steps)
+	return state.Psi
+}
+
+// TestStreamIslandsPeriodicSolverExact pins the two facts behind the
+// residentRun baseline fallback:
+//
+//  1. The resident IslandsOfCores executor is NOT solver-exact under a
+//     Periodic i-boundary — its wrap-edge halo exchange leaves stale values
+//     near the seam, a gap the executor's own reference tests (Clamp-only
+//     for islands) never exercise. If this sub-test ever starts failing
+//     because the diff became zero, the upstream gap was fixed and the
+//     baseline fallback in residentRun can be removed.
+//  2. The STREAMED islands run is solver-exact there: every tile's halo is
+//     loaded from committed correct planes and the redundant-trapezoid
+//     argument confines cut-edge garbage to the discarded shell, regardless
+//     of the boundary condition.
+func TestStreamIslandsPeriodicSolverExact(t *testing.T) {
+	machine, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := grid.Sz(9, 5, 4)
+	for _, steps := range []int{1, 5} {
+		ref := solverRun(t, domain, stencil.Periodic, steps)
+
+		cfg := exec.Config{Machine: machine, Strategy: exec.IslandsOfCores, Boundary: stencil.Periodic, Steps: steps, KSteps: 1}
+		prog, err := mpdata.NewProgramWithOptions(mpdata.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := mpdata.NewState(domain)
+		state.SetStandardProblem()
+		r, err := exec.NewRunner(cfg, prog, state.InputMap(), mpdata.InPsi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		r.SyncFeedback()
+		r.Close()
+		if d := grid.MaxAbsDiff(state.Psi, ref); d == 0 {
+			t.Errorf("steps=%d: resident islands+periodic became solver-exact; drop the baseline fallback in residentRun", steps)
+		}
+
+		s, err := New(Options{Dir: t.TempDir(), Exec: cfg, Domain: domain, TilePlanes: 2, NoPrefetch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ReadResult()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		if d := grid.MaxAbsDiff(got, ref); d != 0 {
+			t.Fatalf("steps=%d: streamed islands+periodic differs from solver by %v, want bit-identical", steps, d)
+		}
+	}
+}

@@ -4,7 +4,12 @@
 # docs/PERFORMANCE.md). The sweep includes the temporal-blocking ablation
 # (BenchmarkCompute{Islands,CoreIslands}K{1,2,4,8}), whose per-arm
 # "modeled-speedup-x" metric records the paper machine's predicted payoff
-# of k-step blocking next to the measured host numbers. Usage:
+# of k-step blocking next to the measured host numbers, and the out-of-core
+# streaming arms (BenchmarkStream{Resident,Tiled,TiledNoPrefetch}; see
+# docs/STREAMING.md), where the tiled-with-prefetch arm beating the serial
+# ablation is the double-buffered pipeline's reason to exist. The Stream
+# arms are excluded from the CI allocs/op smoke gate by name — tile
+# streaming allocates by design. Usage:
 #
 #   scripts/bench.sh [label]
 #
@@ -18,6 +23,6 @@ commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench '^BenchmarkCompute' -benchmem -benchtime "${BENCHTIME:-30x}" . | tee "$tmp"
-go run ./cmd/benchjson -match BenchmarkCompute -o BENCH_compute.json \
+go test -run '^$' -bench '^BenchmarkCompute|^BenchmarkStream' -benchmem -benchtime "${BENCHTIME:-30x}" . | tee "$tmp"
+go run ./cmd/benchjson -match Benchmark -o BENCH_compute.json \
 	-label "$label" -commit "$commit" <"$tmp"

@@ -1,5 +1,5 @@
 #!/bin/sh
-# serve-smoke.sh — end-to-end smoke test of the serving subsystem, in two
+# serve-smoke.sh — end-to-end smoke test of the serving subsystem, in three
 # phases:
 #
 #   1. Single server: start mpdata-serve on a random port, push one small job
@@ -11,6 +11,12 @@
 #      assert zero failed jobs in the router's /metrics (every affected job
 #      rerouted and re-run), the dead replica evicted from membership, and a
 #      clean SIGTERM drain of the router.
+#   3. Streaming (docs/STREAMING.md): start a server with a 1 MiB default
+#      stream budget, push a batch of streamed jobs whose domains exceed the
+#      budget several times over (>= 4 tiles each), then kill -9 the server
+#      mid-way through a long durable streamed job, restart it on the same
+#      spill directory, resubmit the same stream_id, and assert the job
+#      completes with zero failures from the surviving checkpoint.
 #
 # Usage:
 #
@@ -200,3 +206,117 @@ kill -TERM "$r2_pid" 2>/dev/null || true
 wait "$r2_pid" 2>/dev/null || true
 pids=""
 echo "serve-smoke: phase 2 OK ($succeeded jobs, $reroutes reroutes, replica kill survived, clean drain)"
+
+# ---------------------------------------------------------------- phase 3 --
+
+spill="$bindir/spill"
+stlog="$bindir/stream.log"
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 \
+    -spill-dir "$spill" -stream-budget-mb 1 >"$stlog" 2>&1 &
+stream_pid=$!
+pids="$stream_pid"
+st_url=$(scrape_url "$stlog" "$stream_pid" mpdata-serve)
+echo "serve-smoke: streaming server at $st_url (spill $spill, 1 MiB budget)"
+
+# 3a: a batch of anonymous streamed jobs. Each 128x16x16 domain needs several
+# MiB resident, so the 1 MiB budget forces >= 4 tiles per sweep per job.
+stream_jobs=${STREAM_JOBS:-4}
+"$bindir/mpdata-load" -addr "$st_url" -jobs "$stream_jobs" -concurrency 2 \
+    -grids 128x16x16 -steps 3 -p 1 -strategies original \
+    -streamed -budget-mb 1
+
+failed=$(metric_value "$st_url" serve_jobs_failed_total)
+sjobs=$(metric_value "$st_url" serve_stream_jobs_total)
+stiles=$(metric_value "$st_url" serve_stream_tiles_total)
+if [ "$failed" != "0" ]; then
+    echo "serve-smoke: streaming server reports $failed failed jobs" >&2
+    exit 1
+fi
+if [ "$sjobs" != "$stream_jobs" ]; then
+    echo "serve-smoke: serve_stream_jobs_total=$sjobs, want $stream_jobs" >&2
+    exit 1
+fi
+# >= 4 tiles x >= 1 sweep per job.
+if [ "$(awk -v t="$stiles" -v j="$stream_jobs" 'BEGIN{print (t+0 >= 4*j) ? 1 : 0}')" != "1" ]; then
+    echo "serve-smoke: serve_stream_tiles_total=$stiles, want >= $((4 * stream_jobs))" >&2
+    exit 1
+fi
+# Anonymous stores are removed when their engine retires; only the spill root
+# (and any durable stream-* stores) may remain.
+leftovers=$(find "$spill" -maxdepth 1 -name 'job-*' 2>/dev/null | wc -l)
+if [ "$leftovers" != "0" ]; then
+    echo "serve-smoke: $leftovers anonymous tile stores leaked in $spill" >&2
+    exit 1
+fi
+echo "serve-smoke: phase 3a OK ($sjobs streamed jobs, $stiles tile residencies)"
+
+# 3b: kill -9 the server mid-way through a long durable streamed job, then
+# restart on the same spill directory and resubmit the same stream_id. The
+# checkpointed store must survive the crash and the rerun must complete.
+"$bindir/mpdata-load" -addr "$st_url" -jobs 1 -concurrency 1 \
+    -grids 256x16x16 -steps 30 -p 1 -strategies original \
+    -streamed -budget-mb 1 -stream-id smoke >"$bindir/stream-load1.log" 2>&1 &
+load_pid=$!
+pids="$pids $load_pid"
+
+# Wait for tile progress well past the 3a baseline — usually a whole sweep —
+# then pull the plug.
+advanced=""
+for _ in $(seq 1 200); do
+    now=$(metric_value "$st_url" serve_stream_tiles_total 2>/dev/null || echo "$stiles")
+    if [ "$(awk -v a="$now" -v b="$stiles" 'BEGIN{print (a+0 > b+26) ? 1 : 0}')" = "1" ]; then
+        advanced=1
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$advanced" ]; then
+    echo "serve-smoke: durable streamed job never advanced past $stiles tiles" >&2
+    cat "$bindir/stream-load1.log" >&2
+    exit 1
+fi
+kill -9 "$stream_pid" 2>/dev/null || true
+wait "$load_pid" 2>/dev/null || true
+pids=""
+echo "serve-smoke: killed streaming server (pid $stream_pid) mid-job"
+
+if [ ! -f "$spill/stream-smoke-0/checkpoint.json" ]; then
+    echo "serve-smoke: durable store $spill/stream-smoke-0 lost its checkpoint" >&2
+    ls -la "$spill" >&2 || true
+    exit 1
+fi
+
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 \
+    -spill-dir "$spill" -stream-budget-mb 1 >"$stlog" 2>&1 &
+stream_pid=$!
+pids="$stream_pid"
+st_url=$(scrape_url "$stlog" "$stream_pid" mpdata-serve)
+
+# Same spec + stream_id: the restarted server must adopt the checkpoint and
+# finish the job (exit 0 = zero failed).
+"$bindir/mpdata-load" -addr "$st_url" -jobs 1 -concurrency 1 \
+    -grids 256x16x16 -steps 30 -p 1 -strategies original \
+    -streamed -budget-mb 1 -stream-id smoke
+
+failed=$(metric_value "$st_url" serve_jobs_failed_total)
+resumed=$(metric_value "$st_url" serve_stream_resumed_total)
+if [ "$failed" != "0" ]; then
+    echo "serve-smoke: restarted streaming server reports $failed failed jobs" >&2
+    exit 1
+fi
+
+kill -TERM "$stream_pid"
+rc=0
+wait "$stream_pid" || rc=$?
+if [ "$rc" != "0" ]; then
+    echo "serve-smoke: streaming server exited $rc after SIGTERM" >&2
+    cat "$stlog" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$stlog"; then
+    echo "serve-smoke: no clean-drain line in the streaming server log" >&2
+    cat "$stlog" >&2
+    exit 1
+fi
+pids=""
+echo "serve-smoke: phase 3 OK (crash survived, resumed_total=$resumed, clean drain)"
