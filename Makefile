@@ -23,7 +23,7 @@ race:
 	$(GO) test -race ./...
 
 race-core:
-	$(GO) test -race ./internal/sched/... ./internal/exec/... ./internal/stencil/... ./internal/mpdata/... ./internal/serve/... ./internal/tune/... ./internal/fleet/... ./internal/stream/...
+	$(GO) test -race ./internal/sched/... ./internal/exec/... ./internal/stencil/... ./internal/mpdata/... ./internal/solver/... ./internal/serve/... ./internal/tune/... ./internal/fleet/... ./internal/stream/...
 
 # Run the compute benchmarks and append the results to BENCH_compute.json
 # (see docs/PERFORMANCE.md for the trajectory format).

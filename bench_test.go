@@ -24,6 +24,7 @@ import (
 	"islands/internal/exec"
 	"islands/internal/grid"
 	"islands/internal/mpdata"
+	"islands/internal/solver"
 	"islands/internal/stencil"
 	"islands/internal/topology"
 	"islands/internal/tune"
@@ -278,6 +279,65 @@ func BenchmarkComputeOriginal(b *testing.B)    { computeBench(b, exec.Original, 
 func BenchmarkComputePlus31D(b *testing.B)     { computeBench(b, exec.Plus31D, false, false) }
 func BenchmarkComputeIslands(b *testing.B)     { computeBench(b, exec.IslandsOfCores, false, false) }
 func BenchmarkComputeCoreIslands(b *testing.B) { computeBench(b, exec.IslandsOfCores, true, false) }
+
+// solverBenchDomains picks a benchmark domain per catalog solver: the shared
+// 128x64x16 compute grid where the solver accepts it, and the closest shape
+// satisfying the entry's k-packing constraint otherwise (docs/SOLVERS.md).
+var solverBenchDomains = map[string]grid.Size{
+	"lbm":  grid.Sz(128, 64, 9),
+	"swe":  grid.Sz(128, 128, 3),
+	"wave": grid.Sz(128, 128, 2),
+	"life": grid.Sz(128, 128, 1),
+}
+
+// BenchmarkComputeSolvers runs one compiled islands-strategy step of every
+// catalog solver — the per-solver arms of the BENCH_compute.json trajectory.
+// Like computeBench, each arm must stay at 0 allocs/op in steady state.
+func BenchmarkComputeSolvers(b *testing.B) {
+	m, err := topology.UV2000(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range solver.Names() {
+		entry, err := solver.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			domain, ok := solverBenchDomains[name]
+			if !ok {
+				domain = grid.Sz(128, 64, 16)
+			}
+			kp, err := entry.NewProgram(solver.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			state, err := entry.NewProblemState(domain)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner, err := exec.NewRunner(exec.Config{
+				Machine: m, Strategy: exec.IslandsOfCores,
+				Boundary: stencil.Clamp, Steps: 1, BlockI: 16,
+			}, kp, state.Inputs, state.Feedback)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer runner.Close()
+			if err := runner.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(domain.Cells())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
 
 // kstepBench is the temporal-blocking ablation: the islands strategies
 // advancing 8 steps per op with k inner steps between global joins. Every

@@ -6,8 +6,10 @@
 //	mpdata-load -addr http://127.0.0.1:8080 -jobs 100 -concurrency 8
 //
 // Jobs rotate round-robin over -strategies (all four by default: original,
-// 3+1d, islands, islands+core) crossed with -grids, so a fleet sees mixed
-// traffic with several distinct engine cache keys. Admission-control
+// 3+1d, islands, islands+core) crossed with -grids and -solvers, so a fleet
+// sees mixed traffic with several distinct engine cache keys — including
+// mixed-solver traffic when -solvers names more than one catalog entry
+// (docs/SOLVERS.md). Admission-control
 // rejections (429/503) are retried through serveclient.BackoffPolicy — capped
 // exponential backoff with full jitter, the server's Retry-After hint as a
 // floor, and cancellation-aware sleeps — bounded by -retries. -slo reports
@@ -33,6 +35,7 @@ import (
 
 	"islands/internal/serve"
 	serveclient "islands/internal/serve/client"
+	"islands/internal/solver"
 )
 
 // workload is one strategy arm of the rotation.
@@ -65,6 +68,27 @@ func parseWorkloads(s string) ([]workload, error) {
 	return out, nil
 }
 
+// parseSolvers resolves a comma-separated list of catalog solver names to
+// their canonical forms (solver.Lookup accepts case/space variants).
+func parseSolvers(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		entry, err := solver.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry.Name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no solvers given")
+	}
+	return out, nil
+}
+
 func parseGrids(s string) ([]string, error) {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
@@ -86,6 +110,7 @@ func parseGrids(s string) ([]string, error) {
 // jobOutcome is one completed submission's accounting.
 type jobOutcome struct {
 	strategy string
+	solver   string
 	state    serve.JobState
 	err      string
 	latency  time.Duration
@@ -123,7 +148,19 @@ type summaryJSON struct {
 	CacheHitRate   float64            `json:"cache_hit_rate"`
 	SLOMs          float64            `json:"slo_ms,omitempty"`
 	SLOAttainment  float64            `json:"slo_attainment,omitempty"`
-	ServerMetrics  map[string]float64 `json:"server_metrics,omitempty"`
+	// PerSolver breaks successful-job latency (and SLO attainment when -slo
+	// is set) down by catalog solver — the mixed-traffic view of a -solvers
+	// rotation.
+	PerSolver     map[string]solverSummary `json:"per_solver,omitempty"`
+	ServerMetrics map[string]float64       `json:"server_metrics,omitempty"`
+}
+
+// solverSummary is one catalog solver's slice of the run.
+type solverSummary struct {
+	Jobs          int     `json:"jobs"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	SLOAttainment float64 `json:"slo_attainment,omitempty"`
 }
 
 func main() {
@@ -136,6 +173,7 @@ func main() {
 	steps := flag.Int("steps", 5, "time steps per job")
 	p := flag.Int("p", 2, "simulated UV 2000 sockets per job")
 	strategies := flag.String("strategies", "original,3+1d,islands,islands+core", "comma-separated strategy rotation (suffix +core for core islands)")
+	solversFlag := flag.String("solvers", "mpdata", "comma-separated catalog solver rotation for mixed-solver traffic (see stencil-info -solvers)")
 	ksteps := flag.Int("ksteps", 0, "temporal blocking factor requested per job (islands strategies only)")
 	pin := flag.Bool("pin", false, "pin jobs to the requested config (opt out of server-side autotuning)")
 	streamed := flag.Bool("streamed", false, "submit streamed (out-of-core) jobs: the server tiles each domain under -budget-mb (docs/STREAMING.md)")
@@ -161,27 +199,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	solvers, err := parseSolvers(*solversFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !*streamed && (*budgetMB != 0 || *streamID != "") {
 		log.Fatal("-budget-mb and -stream-id require -streamed")
 	}
-	// Validate every (strategy, grid) template once, client-side, with the
-	// same helpers the server uses — a bad flag fails fast instead of 100
-	// times.
+	// Validate every (strategy, grid, solver) template once, client-side,
+	// with the same helpers the server uses — a bad flag (a non-streamable
+	// solver under -streamed, a grid violating a solver's domain constraint)
+	// fails fast instead of 100 times.
 	template := serve.Spec{
 		Steps: *steps, Processors: *p, KSteps: *ksteps, Pin: *pin,
 		Streamed: *streamed, MemoryBudgetMB: *budgetMB,
 	}
 	for _, w := range loads {
 		for _, g := range grids {
-			s := template
-			s.Strategy = w.strategy
-			s.CoreIslands = w.coreIslands
-			s.Grid = g
-			if *streamID != "" {
-				s.StreamID = *streamID + "-0"
-			}
-			if err := s.Validate(); err != nil {
-				log.Fatalf("bad spec for %s @ %s: %v", w.name, g, err)
+			for _, sv := range solvers {
+				s := template
+				s.Strategy = w.strategy
+				s.CoreIslands = w.coreIslands
+				s.Grid = g
+				s.Solver = sv
+				if *streamID != "" {
+					s.StreamID = *streamID + "-0"
+				}
+				if err := s.Validate(); err != nil {
+					log.Fatalf("bad spec for %s/%s @ %s: %v", sv, w.name, g, err)
+				}
 			}
 		}
 	}
@@ -224,6 +270,7 @@ func main() {
 				spec.Strategy = w.strategy
 				spec.CoreIslands = w.coreIslands
 				spec.Grid = grids[(n/int64(len(loads)))%int64(len(grids))]
+				spec.Solver = solvers[(n/int64(len(loads)*len(grids)))%int64(len(solvers))]
 				if *streamID != "" {
 					// Per-job suffix: stores are keyed by stream_id, and a
 					// shared one would make rotating grids/strategies fight
@@ -259,16 +306,16 @@ func runOne(ctx context.Context, client *serveclient.Client, spec serve.Spec, na
 	t0 := time.Now()
 	st, err := client.SubmitRetry(ctx, spec, policy)
 	if err != nil {
-		return jobOutcome{strategy: name, state: serve.StateFailed, err: fmt.Sprintf("submit: %v", err)}
+		return jobOutcome{strategy: name, solver: spec.Solver, state: serve.StateFailed, err: fmt.Sprintf("submit: %v", err)}
 	}
 	wctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	final, err := client.Wait(wctx, st.ID, 25*time.Millisecond)
 	if err != nil {
-		return jobOutcome{strategy: name, state: serve.StateFailed, err: fmt.Sprintf("wait: %v", err)}
+		return jobOutcome{strategy: name, solver: spec.Solver, state: serve.StateFailed, err: fmt.Sprintf("wait: %v", err)}
 	}
 	out := jobOutcome{
-		strategy: name, state: final.State, err: final.Error,
+		strategy: name, solver: spec.Solver, state: final.State, err: final.Error,
 		latency: time.Since(t0), reroutes: final.Reroutes,
 	}
 	if r := final.Result; r != nil {
@@ -295,6 +342,7 @@ func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64, slo
 	var ok, failed, silent, canceled, hits, explored, reroutes int
 	latencies := make([]time.Duration, 0, len(outcomes))
 	perStrategy := map[string][]time.Duration{}
+	perSolver := map[string][]time.Duration{}
 	// configs counts requested -> served config pairs per strategy arm.
 	configs := map[string]map[string]int{}
 	for _, o := range outcomes {
@@ -304,6 +352,7 @@ func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64, slo
 			ok++
 			latencies = append(latencies, o.latency)
 			perStrategy[o.strategy] = append(perStrategy[o.strategy], o.latency)
+			perSolver[o.solver] = append(perSolver[o.solver], o.latency)
 			if o.cacheHit {
 				hits++
 			}
@@ -384,6 +433,40 @@ func summarize(outcomes []jobOutcome, elapsed time.Duration, rejected int64, slo
 		sort.Strings(lines)
 		for _, line := range lines {
 			fmt.Printf("      %3d x %s\n", configs[name][line], line)
+		}
+	}
+	// Per-solver breakdown: the mixed-traffic view of a -solvers rotation.
+	// Always recorded in the JSON summary; printed only when more than one
+	// solver ran (a single-solver run's numbers equal the aggregate above).
+	if len(perSolver) > 0 {
+		sum.PerSolver = map[string]solverSummary{}
+		solverNames := make([]string, 0, len(perSolver))
+		for name := range perSolver {
+			solverNames = append(solverNames, name)
+		}
+		sort.Strings(solverNames)
+		if len(solverNames) > 1 {
+			fmt.Println("per-solver:")
+		}
+		for _, name := range solverNames {
+			ls := perSolver[name]
+			ss := solverSummary{Jobs: len(ls), P50Ms: ms(pct(ls, 50)), P99Ms: ms(pct(ls, 99))}
+			line := fmt.Sprintf("  %-10s %3d jobs  p50 %s  p99 %s  max %s",
+				name, len(ls), pct(ls, 50), pct(ls, 99), pct(ls, 100))
+			if slo > 0 {
+				within := 0
+				for _, l := range ls {
+					if l <= slo {
+						within++
+					}
+				}
+				ss.SLOAttainment = float64(within) / float64(len(ls))
+				line += fmt.Sprintf("  slo %d/%d (%.1f%%)", within, len(ls), 100*ss.SLOAttainment)
+			}
+			sum.PerSolver[name] = ss
+			if len(solverNames) > 1 {
+				fmt.Println(line)
+			}
 		}
 	}
 	if explored > 0 {

@@ -1,11 +1,14 @@
-// Command mpdata-sim runs one MPDATA configuration: it executes the real
+// Command mpdata-sim runs one solver configuration: it executes the real
 // numerical computation with the chosen strategy on goroutine work teams,
 // verifies the physics invariants, and prints the modeled execution time of
-// the same configuration on the simulated SGI UV 2000.
+// the same configuration on the simulated SGI UV 2000. The workload defaults
+// to the paper's MPDATA program; -solver selects any entry of the solver
+// catalog (docs/SOLVERS.md) and compiles it onto the same islands platform.
 //
 // Example:
 //
 //	mpdata-sim -grid 128x64x16 -steps 20 -strategy islands -p 4
+//	mpdata-sim -solver lbm -grid 256x128x9 -steps 50 -strategy islands -p 4
 package main
 
 import (
@@ -18,13 +21,25 @@ import (
 	"islands/internal/advisor"
 	"islands/internal/exec"
 	"islands/internal/grid"
-	"islands/internal/mpdata"
 	"islands/internal/perf"
 	"islands/internal/serve"
+	"islands/internal/solver"
+	"islands/internal/stencil"
 	"islands/internal/stream"
 	"islands/internal/topology"
 	"islands/internal/tune"
 )
+
+// solverProgram builds the configured catalog solver's kernel program. IORD
+// reaches only entries with MPDATA options (the flag is rejected for the
+// rest before this runs).
+func solverProgram(entry *solver.Entry, cfg islands.Config) (*stencil.KernelProgram, error) {
+	opt := solver.Options{}
+	if entry.MPDATAOptions {
+		opt.IORD = cfg.IORD
+	}
+	return entry.NewProgram(opt)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,6 +51,7 @@ func main() {
 			log.Fatalf("internal error: %v", p)
 		}
 	}()
+	solverFlag := flag.String("solver", "mpdata", "catalog solver to run (stencil-info -solvers lists the catalog; docs/SOLVERS.md)")
 	gridFlag := flag.String("grid", "128x64x16", "domain size NIxNJxNK")
 	steps := flag.Int("steps", 10, "number of time steps")
 	p := flag.Int("p", 2, "number of UV 2000 processors (1..14)")
@@ -64,9 +80,27 @@ func main() {
 
 	// Flag validation is shared with internal/serve (the job-spec boundary),
 	// so the CLI and the server reject bad inputs with identical diagnostics.
+	entry, err := solver.Lookup(*solverFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !entry.MPDATAOptions {
+		// Mirror the spec layer: MPDATA-only options are rejected, not
+		// silently ignored, for solvers that do not consume them.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "iord" {
+				log.Fatalf("-iord applies only to the mpdata solver, not %q", entry.Name)
+			}
+		})
+	}
 	domain, err := serve.ParseGrid(*gridFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if entry.CheckDomain != nil {
+		if err := entry.CheckDomain(domain); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if err := serve.ValidateSteps(*steps); err != nil {
 		log.Fatal(err)
@@ -100,7 +134,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: *iord, NonOscillatory: true})
+		kp, err := entry.NewProgram(solver.Options{IORD: *iord})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -128,14 +162,14 @@ func main() {
 		if *ksteps > 1 {
 			log.Fatal("-ksteps does not combine with -stream-budget-mb (the residency picker derives k from the budget)")
 		}
-		if err := runStreamed(domain, cfg, *streamBudget, *spillDir, *streamNoPrefetch); err != nil {
+		if err := runStreamed(entry, domain, cfg, *streamBudget, *spillDir, *streamNoPrefetch); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
 	if *tuneFlag {
-		if err := runTune(domain, cfg, *tuneSeed); err != nil {
+		if err := runTune(entry, domain, cfg, *tuneSeed); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -146,32 +180,35 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		prog := &mpdata.NewProgram().Program
-		cands, err := advisor.Advise(m, prog, domain, *steps)
+		kp, err := solverProgram(entry, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("strategy advice for %v, %d steps on %d sockets:\n", domain, *steps, *p)
+		cands, err := advisor.Advise(m, &kp.Program, domain, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("strategy advice for %s %v, %d steps on %d sockets:\n", entry.Name, domain, *steps, *p)
 		fmt.Print(advisor.Report(cands))
 		return
 	}
 
 	if *profile || *traceOut != "" {
-		if err := runProfiled(domain, cfg, *profile, *traceOut); err != nil {
+		if err := runProfiled(entry, domain, cfg, *profile, *traceOut); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
 	if *schedule {
-		if err := runScheduleReport(domain, cfg); err != nil {
+		if err := runScheduleReport(entry, domain, cfg); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	fmt.Printf("MPDATA %v, %d steps, %s on %d x Xeon E5-4627v2 (%s placement, variant %v)\n",
-		domain, *steps, strategy, *p, placement, variant)
+	fmt.Printf("%s %v, %d steps, %s on %d x Xeon E5-4627v2 (%s placement, variant %v)\n",
+		entry.Name, domain, *steps, strategy, *p, placement, variant)
 
 	if *topo {
 		m, err := topology.UV2000(*p)
@@ -187,7 +224,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: *iord, NonOscillatory: true})
+		kp, err := solverProgram(entry, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -205,42 +242,74 @@ func main() {
 	}
 
 	if *compute {
-		sim, err := islands.NewSimulation(domain, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ci := float64(domain.NI) / 2
-		cj := float64(domain.NJ) / 2
-		ck := float64(domain.NK) / 2
-		sim.State.SetGaussian(ci, cj, ck, float64(domain.NK)/4, 1, 0.1)
-		sim.State.SetRotationVelocityZ(0.5 / (ci + cj))
-		before := sim.State.Psi.Sum()
-		if err := sim.Run(); err != nil {
-			log.Fatal(err)
-		}
-		after := sim.State.Psi.Sum()
-		fmt.Printf("computation: done; mass %.6f -> %.6f (drift %.2e), min %.3e\n",
-			before, after, (after-before)/before, sim.State.Psi.Min())
-		if *dump != "" {
-			if err := grid.SaveField(*dump, sim.State.Psi); err != nil {
+		if entry.Name == solver.DefaultName {
+			sim, err := islands.NewSimulation(domain, cfg)
+			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("final field written to %s\n", *dump)
+			ci := float64(domain.NI) / 2
+			cj := float64(domain.NJ) / 2
+			ck := float64(domain.NK) / 2
+			sim.State.SetGaussian(ci, cj, ck, float64(domain.NK)/4, 1, 0.1)
+			sim.State.SetRotationVelocityZ(0.5 / (ci + cj))
+			before := sim.State.Psi.Sum()
+			if err := sim.Run(); err != nil {
+				log.Fatal(err)
+			}
+			after := sim.State.Psi.Sum()
+			fmt.Printf("computation: done; mass %.6f -> %.6f (drift %.2e), min %.3e\n",
+				before, after, (after-before)/before, sim.State.Psi.Min())
+			if *dump != "" {
+				if err := grid.SaveField(*dump, sim.State.Psi); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("final field written to %s\n", *dump)
+			}
+		} else if err := runSolverCompute(entry, domain, cfg, *dump); err != nil {
+			log.Fatal(err)
 		}
 	} else if *dump != "" {
 		log.Fatal("-dump requires -compute=true")
 	}
 
-	pred, err := islands.Predict(domain, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("modeled UV 2000 time:   %.3f s (%.1f Gflop/s sustained, %.1f%% of peak)\n",
-		pred.Time, pred.SustainedGflops, pred.UtilizationPct)
-	fmt.Printf("memory traffic:         %.2f GB (%.2f GB over NUMAlink)\n",
-		pred.MemTrafficGB, pred.RemoteTrafficGB)
-	if strategy == islands.IslandsOfCores {
-		fmt.Printf("redundant computation:  %.2f%% extra elements\n", pred.ExtraElementsPct)
+	if entry.Name == solver.DefaultName {
+		pred, err := islands.Predict(domain, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("modeled UV 2000 time:   %.3f s (%.1f Gflop/s sustained, %.1f%% of peak)\n",
+			pred.Time, pred.SustainedGflops, pred.UtilizationPct)
+		fmt.Printf("memory traffic:         %.2f GB (%.2f GB over NUMAlink)\n",
+			pred.MemTrafficGB, pred.RemoteTrafficGB)
+		if strategy == islands.IslandsOfCores {
+			fmt.Printf("redundant computation:  %.2f%% extra elements\n", pred.ExtraElementsPct)
+		}
+	} else {
+		// The machine model prices any catalog program: exec.Model is the
+		// same call islands.Predict wraps for MPDATA.
+		m, err := topology.UV2000(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kp, err := solverProgram(entry, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exec.Model(exec.Config{
+			Machine: m, Strategy: strategy, Placement: placement,
+			Variant: variant, Boundary: cfg.Boundary, Steps: *steps,
+			CoreIslands: *coreIslands, KSteps: *ksteps,
+		}, &kp.Program, domain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("modeled UV 2000 time:   %.3f s (%.1f Gflop/s sustained, %.1f%% of peak)\n",
+			res.TotalTime, res.SustainedFlops()/1e9, 100*res.SustainedFlops()/m.PeakFlops())
+		fmt.Printf("memory traffic:         %.2f GB (%.2f GB over NUMAlink)\n",
+			res.MemTrafficBytes/1e9, res.RemoteTrafficBytes/1e9)
+		if strategy == islands.IslandsOfCores {
+			fmt.Printf("redundant computation:  %.2f%% extra elements\n", res.ExtraElementsPct)
+		}
 	}
 
 	if *counters || *modelTrace {
@@ -248,7 +317,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: *iord, NonOscillatory: true})
+		kp, err := solverProgram(entry, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -277,23 +346,76 @@ func main() {
 	}
 }
 
+// runSolverCompute executes a non-default catalog solver's standard problem
+// on the compiled islands platform and prints the conservation summary. The
+// field sum is a physical invariant only where the scheme conserves it (mass
+// for SWE, total density for LBM); it is printed for every solver as a cheap
+// reproducibility checksum either way.
+func runSolverCompute(entry *solver.Entry, domain islands.Size, cfg islands.Config, dump string) error {
+	m, err := topology.UV2000(cfg.Processors)
+	if err != nil {
+		return err
+	}
+	kp, err := solverProgram(entry, cfg)
+	if err != nil {
+		return err
+	}
+	state, err := entry.NewProblemState(domain)
+	if err != nil {
+		return err
+	}
+	runner, err := exec.NewRunner(exec.Config{
+		Machine: m, Strategy: cfg.Strategy, Placement: cfg.Placement,
+		Variant: cfg.Variant, Boundary: cfg.Boundary, Steps: cfg.Steps,
+		CoreIslands: cfg.CoreIslands, KSteps: cfg.KSteps,
+	}, kp, state.Inputs, state.Feedback)
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+	out := state.Output()
+	before := out.Sum()
+	if err := runner.Run(); err != nil {
+		return err
+	}
+	runner.SyncFeedback()
+	after := out.Sum()
+	var drift float64
+	if before != 0 {
+		drift = (after - before) / before
+	}
+	fmt.Printf("computation: done; field sum %.6f -> %.6f (drift %.2e), min %.3e\n",
+		before, after, drift, out.Min())
+	if dump != "" {
+		if err := grid.SaveField(dump, out); err != nil {
+			return err
+		}
+		fmt.Printf("final field written to %s\n", dump)
+	}
+	return nil
+}
+
 // runStreamed executes the computation out of core (docs/STREAMING.md): the
 // residency picker chooses the widest tile and temporal factor k fitting the
 // memory budget, the domain spills to a disk-backed plane store, and the
 // stream drives tiles through a resident engine with double-buffered
 // prefetch. The checksums printed are bit-identical to the resident run's.
-func runStreamed(domain islands.Size, cfg islands.Config, budgetMB int, dir string, noPrefetch bool) error {
+func runStreamed(entry *solver.Entry, domain islands.Size, cfg islands.Config, budgetMB int, dir string, noPrefetch bool) error {
 	m, err := topology.UV2000(cfg.Processors)
 	if err != nil {
 		return err
 	}
-	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: cfg.IORD, NonOscillatory: true})
+	kp, err := solverProgram(entry, cfg)
 	if err != nil {
 		return err
 	}
+	iord := 0
+	if entry.MPDATAOptions {
+		iord = cfg.IORD
+	}
 	class := tune.Class{
-		Domain: domain, Processors: cfg.Processors, Variant: cfg.Variant,
-		Boundary: cfg.Boundary, IORD: cfg.IORD,
+		Solver: entry.Name, Domain: domain, Processors: cfg.Processors,
+		Variant: cfg.Variant, Boundary: cfg.Boundary, IORD: iord,
 	}
 	ec := tune.ApplyKnobs(class.BaseConfig(m), tune.Knobs{
 		Strategy: cfg.Strategy, CoreIslands: cfg.CoreIslands, Placement: cfg.Placement,
@@ -327,7 +449,7 @@ func runStreamed(domain islands.Size, cfg islands.Config, budgetMB int, dir stri
 	ec.Steps = cfg.Steps
 	ec.KSteps = k
 	st, err := stream.New(stream.Options{
-		Dir: dir, Exec: ec, Domain: domain, IORD: cfg.IORD,
+		Dir: dir, Exec: ec, Domain: domain, Solver: entry.Name, IORD: iord,
 		TilePlanes: tilePlanes, NoPrefetch: noPrefetch, Resume: !temp,
 	})
 	if err != nil {
@@ -365,12 +487,12 @@ func runStreamed(domain islands.Size, cfg islands.Config, budgetMB int, dir stri
 // items, barriers, feedback mode — for swap+halo the strip count and bytes
 // per step, for a refused exchange the fallback reason) followed by the
 // feedback-publish summary table.
-func runScheduleReport(domain islands.Size, cfg islands.Config) error {
+func runScheduleReport(entry *solver.Entry, domain islands.Size, cfg islands.Config) error {
 	m, err := topology.UV2000(cfg.Processors)
 	if err != nil {
 		return err
 	}
-	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: cfg.IORD, NonOscillatory: true})
+	kp, err := solverProgram(entry, cfg)
 	if err != nil {
 		return err
 	}
@@ -380,7 +502,7 @@ func runScheduleReport(domain islands.Size, cfg islands.Config) error {
 		{"islands-of-cores", islands.IslandsOfCores, false},
 		{"islands-of-cores+core-islands", islands.IslandsOfCores, true},
 	}
-	fmt.Printf("compiled schedules: MPDATA %v on %d sockets\n\n", domain, cfg.Processors)
+	fmt.Printf("compiled schedules: %s %v on %d sockets\n\n", entry.Name, domain, cfg.Processors)
 	rows := make([]perf.FeedbackRow, 0, len(cases))
 	for _, c := range cases {
 		ec := exec.Config{
@@ -391,8 +513,11 @@ func runScheduleReport(domain islands.Size, cfg islands.Config) error {
 		if c.strategy == islands.IslandsOfCores {
 			ec.KSteps = cfg.KSteps
 		}
-		state := mpdata.NewState(domain)
-		runner, err := exec.NewRunner(ec, kp, state.InputMap(), mpdata.InPsi)
+		state, err := entry.NewState(domain)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		runner, err := exec.NewRunner(ec, kp, state.Inputs, state.Feedback)
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
@@ -415,12 +540,12 @@ type profiledCase struct {
 // With report=true it sweeps all strategies and prints the per-phase,
 // per-island and measured-vs-model tables; with tracePath set it additionally
 // (or only) writes the configured strategy's Chrome trace-event timeline.
-func runProfiled(domain islands.Size, cfg islands.Config, report bool, tracePath string) error {
+func runProfiled(entry *solver.Entry, domain islands.Size, cfg islands.Config, report bool, tracePath string) error {
 	m, err := topology.UV2000(cfg.Processors)
 	if err != nil {
 		return err
 	}
-	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: cfg.IORD, NonOscillatory: true})
+	kp, err := solverProgram(entry, cfg)
 	if err != nil {
 		return err
 	}
@@ -434,7 +559,7 @@ func runProfiled(domain islands.Size, cfg islands.Config, report bool, tracePath
 		// Trace-only mode: just the configured strategy.
 		cases = []profiledCase{{cfg.Strategy.String(), cfg.Strategy, cfg.CoreIslands}}
 	}
-	fmt.Printf("runtime profile: MPDATA %v, %d steps on %d sockets\n\n", domain, cfg.Steps, cfg.Processors)
+	fmt.Printf("runtime profile: %s %v, %d steps on %d sockets\n\n", entry.Name, domain, cfg.Steps, cfg.Processors)
 	for _, c := range cases {
 		ec := exec.Config{
 			Machine: m, Strategy: c.strategy, Placement: cfg.Placement,
@@ -444,11 +569,11 @@ func runProfiled(domain islands.Size, cfg islands.Config, report bool, tracePath
 		if c.strategy == islands.IslandsOfCores {
 			ec.KSteps = cfg.KSteps
 		}
-		state := mpdata.NewState(domain)
-		ci, cj, ck := float64(domain.NI)/2, float64(domain.NJ)/2, float64(domain.NK)/2
-		state.SetGaussian(ci, cj, ck, float64(domain.NK)/4, 1, 0.1)
-		state.SetRotationVelocityZ(0.5 / (ci + cj))
-		runner, err := exec.NewRunner(ec, kp, state.InputMap(), mpdata.InPsi)
+		state, err := entry.NewProblemState(domain)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		runner, err := exec.NewRunner(ec, kp, state.Inputs, state.Feedback)
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}

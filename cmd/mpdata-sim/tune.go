@@ -6,7 +6,7 @@ import (
 
 	"islands"
 	"islands/internal/exec"
-	"islands/internal/mpdata"
+	"islands/internal/solver"
 	"islands/internal/topology"
 	"islands/internal/tune"
 )
@@ -21,22 +21,27 @@ const calibrationSteps = 4
 // ranking, measure every eligible candidate with a short calibration run
 // through the real compiled engine, and print the measured trajectory plus
 // the winning configuration.
-func runTune(domain islands.Size, cfg islands.Config, seed int64) error {
+func runTune(entry *solver.Entry, domain islands.Size, cfg islands.Config, seed int64) error {
 	m, err := topology.UV2000(cfg.Processors)
 	if err != nil {
 		return err
 	}
-	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: cfg.IORD, NonOscillatory: true})
+	kp, err := solverProgram(entry, cfg)
 	if err != nil {
 		return err
 	}
 	prog := &kp.Program
+	iord := 0
+	if entry.MPDATAOptions {
+		iord = cfg.IORD
+	}
 	class := tune.Class{
+		Solver:     entry.Name,
 		Domain:     domain,
 		Processors: cfg.Processors,
 		Variant:    cfg.Variant,
 		Boundary:   cfg.Boundary,
-		IORD:       cfg.IORD,
+		IORD:       iord,
 	}
 	tn, err := tune.New(tune.Options{
 		Seed: seed,
@@ -61,8 +66,8 @@ func runTune(domain islands.Size, cfg islands.Config, seed int64) error {
 	if snap == nil {
 		return fmt.Errorf("tune: candidate seeding failed for %v", domain)
 	}
-	fmt.Printf("autotune: MPDATA %v, %d steps on %d sockets (seed %d)\n",
-		domain, cfg.Steps, cfg.Processors, seed)
+	fmt.Printf("autotune: %s %v, %d steps on %d sockets (seed %d)\n",
+		entry.Name, domain, cfg.Steps, cfg.Processors, seed)
 	fmt.Printf("modeled ranking (%d feasible candidates):\n", len(snap))
 	for i, c := range snap {
 		marker := ""
@@ -80,11 +85,11 @@ func runTune(domain islands.Size, cfg islands.Config, seed int64) error {
 		ec := tune.ApplyKnobs(base, k)
 		kblock := max(k.KSteps, 1)
 		ec.Steps = kblock // one dispatch advances one temporal block
-		state := mpdata.NewState(domain)
-		ci, cj, ck := float64(domain.NI)/2, float64(domain.NJ)/2, float64(domain.NK)/2
-		state.SetGaussian(ci, cj, ck, float64(domain.NK)/4, 1, 0.1)
-		state.SetRotationVelocityZ(0.5 / (ci + cj))
-		runner, err := exec.NewRunner(ec, kp, state.InputMap(), mpdata.InPsi)
+		state, err := entry.NewProblemState(domain)
+		if err != nil {
+			return tune.Observation{}, err
+		}
+		runner, err := exec.NewRunner(ec, kp, state.Inputs, state.Feedback)
 		if err != nil {
 			return tune.Observation{}, err
 		}

@@ -1,12 +1,15 @@
-// Command stencil-info inspects the MPDATA stage graph: the per-stage table
-// (inputs, extents, flops), the backward halo analysis, the redundant-element
-// accounting for a chosen island partition, and an optional Graphviz dump.
+// Command stencil-info inspects a catalog solver's stage graph: the
+// per-stage table (inputs, extents, flops), the backward halo analysis, the
+// redundant-element accounting for a chosen island partition, and an optional
+// Graphviz dump. -solvers lists the whole catalog (docs/SOLVERS.md).
 //
 // Examples:
 //
 //	stencil-info                          # the paper's 17-stage program
 //	stencil-info -iord 3                  # with a second corrective pass
 //	stencil-info -unlimited               # without the limiter
+//	stencil-info -solvers                 # the solver catalog
+//	stencil-info -solver lbm -grid 1024x512x9
 //	stencil-info -islands 14 -grid 1024x512x64
 //	stencil-info -dot > mpdata.dot        # stage DAG for graphviz
 package main
@@ -18,13 +21,15 @@ import (
 
 	"islands/internal/decomp"
 	"islands/internal/grid"
-	"islands/internal/mpdata"
+	"islands/internal/solver"
 	"islands/internal/stencil"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stencil-info: ")
+	solverFlag := flag.String("solver", "mpdata", "catalog solver to inspect")
+	listSolvers := flag.Bool("solvers", false, "list the solver catalog (name, stages, halo width, streaming support) and exit")
 	iord := flag.Int("iord", 2, "MPDATA order (number of passes, 1..4)")
 	unlimited := flag.Bool("unlimited", false, "disable the non-oscillatory limiter")
 	dot := flag.Bool("dot", false, "emit the stage graph in Graphviz format and exit")
@@ -32,10 +37,25 @@ func main() {
 	gridFlag := flag.String("grid", "1024x512x64", "domain for the extra-element accounting")
 	flag.Parse()
 
-	kp, err := mpdata.NewProgramWithOptions(mpdata.Options{
-		IORD:           *iord,
-		NonOscillatory: !*unlimited,
-	})
+	if *listSolvers {
+		if err := printCatalog(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	entry, err := solver.Lookup(*solverFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !entry.MPDATAOptions {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "iord" || f.Name == "unlimited" {
+				log.Fatalf("-%s applies only to the mpdata solver, not %q", f.Name, entry.Name)
+			}
+		})
+	}
+	kp, err := entry.NewProgram(solver.Options{IORD: *iord, Unlimited: *unlimited})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,6 +74,11 @@ func main() {
 		log.Fatalf("bad -grid: %v", err)
 	}
 	domain := grid.Sz(ni, nj, nk)
+	if entry.CheckDomain != nil {
+		if err := entry.CheckDomain(domain); err != nil {
+			log.Fatalf("bad -grid: %v", err)
+		}
+	}
 	if !domain.Valid() || domain.NI < *islandsN {
 		log.Fatalf("domain %v cannot host %d islands", domain, *islandsN)
 	}
@@ -66,4 +91,35 @@ func main() {
 		fmt.Printf("  variant %v, %d islands: %.2f%%\n",
 			v, *islandsN, decomp.ExtraElementsPercent(h, domain, parts))
 	}
+}
+
+// printCatalog renders the solver catalog: one line per entry with the facts
+// a job author needs — stage count, the analyzed backward halo width, option
+// and streaming support, and the one-line description.
+func printCatalog() error {
+	fmt.Println("solver catalog (serve spec \"solver\", mpdata-sim -solver; docs/SOLVERS.md):")
+	for _, name := range solver.Names() {
+		entry, err := solver.Lookup(name)
+		if err != nil {
+			return err
+		}
+		kp, err := entry.NewProgram(solver.Options{})
+		if err != nil {
+			return err
+		}
+		h, err := stencil.Analyze(&kp.Program)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ext := h.InputExtents[kp.Program.Feedback]
+		traits := fmt.Sprintf("%2d stages, halo i±%d", len(kp.Program.Stages), max(ext.ILo, ext.IHi))
+		if entry.Streamable() {
+			traits += ", streamable"
+		}
+		if entry.MPDATAOptions {
+			traits += ", iord/unlimited options"
+		}
+		fmt.Printf("  %-8s %-50s %s\n", entry.Name, traits, entry.Description)
+	}
+	return nil
 }

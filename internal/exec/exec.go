@@ -220,6 +220,10 @@ type plan struct {
 	// ScheduleStats.KStepFallbackReason.
 	ksteps      int
 	kstepReason string
+	// wrapReason records why periodic wrap bands (see wrap.go) were skipped
+	// for some dimension — a stage halo wider than the domain. Empty on the
+	// clamp boundary and whenever the bands compiled as designed.
+	wrapReason string
 	// fext is the feedback input's one-step extent (ksteps > 1 only): the
 	// per-inner-step growth of the time-skewed trapezoids.
 	fext stencil.Extent

@@ -117,9 +117,9 @@ func TestKStepIdenticalToK1(t *testing.T) {
 // TestKStepPeriodicSingleIsland: with one island spanning the whole domain
 // there is no mid-block ownership crossing, so temporal blocking composes
 // with the periodic boundary and must match the sequential periodic solver.
-// BlockI spans the domain because periodic wrap reads across concurrent
-// cache blocks are not reference-exact even at k=1 (a pre-existing property
-// of the block decomposition, independent of temporal blocking).
+// BlockI splits the domain into several cache blocks on purpose: periodic
+// wrap reads across concurrent blocks are made reference-exact by the wrap
+// bands (wrap.go), and this pins that they compose with temporal blocking.
 func TestKStepPeriodicSingleIsland(t *testing.T) {
 	domain := grid.Sz(24, 16, 6)
 	const steps = 5
@@ -139,7 +139,7 @@ func TestKStepPeriodicSingleIsland(t *testing.T) {
 	par.SetUniformVelocity(0.3, -0.2, 0.1)
 	runner, err := NewRunner(Config{
 		Machine: m1, Strategy: IslandsOfCores, Boundary: stencil.Periodic,
-		Steps: steps, BlockI: 24, KSteps: 2,
+		Steps: steps, BlockI: 7, KSteps: 2,
 	}, mpdata.NewProgram(), par.InputMap(), mpdata.InPsi)
 	if err != nil {
 		t.Fatal(err)

@@ -126,6 +126,10 @@ type Schedule struct {
 	// was not compiled (infeasible geometry or Config.DisableHaloExchange)
 	// — the loud half of the fallback rule.
 	fallbackReason string
+	// wrapReason records why periodic wrap bands were skipped for some
+	// dimension (stage halo wider than the domain); empty when the bands
+	// compiled (or were not needed).
+	wrapReason string
 	// stages and groups record the program's stage count and the number of
 	// fused phase groups the schedule compiles them into (equal when
 	// fusion is disabled).
@@ -523,6 +527,37 @@ func (c *scheduleCompiler) addTeamBarrier(t int, bar *sched.Barrier) {
 	}
 }
 
+// appendWrapUnits appends the periodic wrap-band sweeps (wrap.go) of a fused
+// group's member stages for block b: first-block boxes at b == 0, last-block
+// boxes at b == nblocks-1, and the block's own j/k-image boxes. Band units
+// are per-stage (never fused) and disjoint from every same-phase write, so
+// they ride in the group's phase like any other unit.
+func appendWrapUnits(units []phaseUnit, bands []*wrapBands, members []int, b, nblocks int) []phaseUnit {
+	if bands == nil {
+		return units
+	}
+	for _, s := range members {
+		w := bands[s]
+		if w == nil {
+			continue
+		}
+		if b == 0 {
+			for _, r := range w.first {
+				units = append(units, phaseUnit{idx: s, reg: r})
+			}
+		}
+		if b == nblocks-1 {
+			for _, r := range w.last {
+				units = append(units, phaseUnit{idx: s, reg: r})
+			}
+		}
+		for _, r := range w.perBlock[b] {
+			units = append(units, phaseUnit{idx: s, reg: r})
+		}
+	}
+	return units
+}
+
 // compileSchedule builds the compiled one-step program for the runner's
 // strategy. envs/workerEnvs mirror Runner's environment layout. Work items
 // and barriers are emitted per fused group — one interior/border split, one
@@ -556,6 +591,7 @@ func compileSchedule(p *plan, prog *stencil.KernelProgram, teams []*sched.Team,
 		}
 	}
 	compile(p.ksteps)
+	c.sch.wrapReason = p.wrapReason
 	if rem := p.cfg.Steps % p.ksteps; p.ksteps > 1 && rem > 0 {
 		// The trailing sub-block runs the last rem inner steps of the same
 		// trapezoid geometry (distances rem-1 .. 0), waiting at the same
@@ -615,10 +651,14 @@ func (c *scheduleCompiler) compileOriginal(env *stencil.Env) {
 func (c *scheduleCompiler) compilePlus31D(env *stencil.Env) {
 	cores := c.totalCores()
 	global := c.globalBarrier()
+	nblocks := len(c.p.blocks[0])
+	bands := c.p.stageWrapBands(c.p.parts[0],
+		func(s, b int) grid.Region { return c.p.spans[0][s][b] }, nblocks)
 	first := true
 	for b := range c.p.blocks[0] {
 		for gi := range c.p.fuse.Groups {
 			units := c.groupUnits(gi, c.blockSpan(0, b))
+			units = appendWrapUnits(units, bands, c.p.fuse.Groups[gi].Stages, b, nblocks)
 			if len(units) == 0 {
 				continue
 			}
@@ -654,9 +694,12 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env, kk int) {
 	for t, team := range c.teams {
 		n := team.Size()
 		tbar := c.teamBarrier(t)
+		nblocks := len(c.p.blocks[t])
 		first := true
 		for j := 0; j < kk; j++ {
 			d := kk - 1 - j
+			bands := c.p.stageWrapBands(c.p.targetAt(d, c.p.parts[t]),
+				func(s, b int) grid.Region { return c.p.spansK[d][t][s][b] }, nblocks)
 			if j > 0 {
 				// Between inner steps: a single fused crossing — every
 				// worker arrives at the team barrier (the wait measures
@@ -675,6 +718,7 @@ func (c *scheduleCompiler) compileIslands(envs []*stencil.Env, kk int) {
 			for b := range c.p.blocks[t] {
 				for gi := range c.p.fuse.Groups {
 					units := c.groupUnits(gi, c.blockSpanAt(d, t, b))
+					units = appendWrapUnits(units, bands, c.p.fuse.Groups[gi].Stages, b, nblocks)
 					if len(units) == 0 {
 						continue
 					}
@@ -776,10 +820,13 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env, kk in
 	for t, team := range c.teams {
 		n := team.Size()
 		subs := splitPart(c.p.parts[t], n)
+		nblocks := len(c.p.blocks[t])
 		for w := 0; w < n; w++ {
 			env := workerEnvs[t][w]
 			for j := 0; j < kk; j++ {
 				d := kk - 1 - j
+				bands := c.p.stageWrapBands(c.p.targetAt(d, subs[w]),
+					func(s, b int) grid.Region { return c.p.workerRegionAt(d, t, s, b, subs[w]) }, nblocks)
 				if j > 0 {
 					c.curPhase = c.syntheticPhase("inner-swap")
 					c.push(t, w, schedItem{kind: swapItem,
@@ -789,7 +836,9 @@ func (c *scheduleCompiler) compileCoreIslands(workerEnvs [][]*stencil.Env, kk in
 					for gi := range c.p.fuse.Groups {
 						span := func(s int) grid.Region { return c.p.workerRegionAt(d, t, s, b, subs[w]) }
 						c.curPhase = c.groupPhase(gi, d)
-						for _, u := range c.groupUnits(gi, span) {
+						units := c.groupUnits(gi, span)
+						units = appendWrapUnits(units, bands, c.p.fuse.Groups[gi].Stages, b, nblocks)
+						for _, u := range units {
 							c.addUnit(t, w, u, env, u.reg)
 						}
 					}

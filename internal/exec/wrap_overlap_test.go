@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"testing"
+
+	"islands/internal/decomp"
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+	"islands/internal/topology"
+)
+
+// TestWrapBandUnitsDisjoint pins the schedule compiler's same-phase write
+// invariant for the periodic wrap bands (wrap.go): within one block's phase
+// of one island, a stage's wrap-band boxes must be pairwise disjoint and
+// disjoint from the stage's own span. Units of a phase are chunked across
+// the team's workers independently, so any overlap is a write-write data
+// race between workers (the regression this test pins produced bogus
+// Subtract pieces when a block span partially overlapped a band box —
+// Subtract requires containment).
+func TestWrapBandUnitsDisjoint(t *testing.T) {
+	m2, err := topology.UV2000(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := topology.UV2000(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp := mpdata.NewProgram()
+	cases := []struct {
+		name   string
+		domain grid.Size
+		cfg    Config
+	}{
+		{"islands-a", grid.Sz(24, 18, 8), Config{Machine: m2, Strategy: IslandsOfCores, BlockI: 5}},
+		{"islands-b", grid.Sz(24, 18, 8), Config{Machine: m2, Strategy: IslandsOfCores, BlockI: 5, Variant: decomp.VariantB}},
+		{"islands-2d", grid.Sz(20, 18, 8), Config{Machine: m4, Strategy: IslandsOfCores, BlockI: 5, IslandGrid: [2]int{2, 2}}},
+		{"plus31d", grid.Sz(24, 18, 8), Config{Machine: m2, Strategy: Plus31D, BlockI: 5}},
+		{"islands-a-k2", grid.Sz(48, 24, 8), Config{Machine: m2, Strategy: IslandsOfCores, BlockI: 8, KSteps: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Boundary = stencil.Periodic
+			cfg.Steps = 1
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			p, err := newPlan(cfg, &kp.Program, tc.domain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := 0
+			for ti := range p.parts {
+				nblocks := len(p.blocks[ti])
+				for d := 0; d < p.ksteps; d++ {
+					bands := p.stageWrapBands(p.targetAt(d, p.parts[ti]),
+						func(s, b int) grid.Region { return p.spansK[d][ti][s][b] }, nblocks)
+					if bands == nil {
+						continue
+					}
+					for b := 0; b < nblocks; b++ {
+						for s := range p.prog.Stages {
+							var regs []grid.Region
+							var srcs []string
+							if sp := p.spansK[d][ti][s][b]; !sp.Empty() {
+								regs = append(regs, sp)
+								srcs = append(srcs, "span")
+							}
+							w := bands[s]
+							if w == nil {
+								continue
+							}
+							if b == 0 {
+								for _, r := range w.first {
+									regs = append(regs, r)
+									srcs = append(srcs, "first")
+								}
+							}
+							if b == nblocks-1 {
+								for _, r := range w.last {
+									regs = append(regs, r)
+									srcs = append(srcs, "last")
+								}
+							}
+							for _, r := range w.perBlock[b] {
+								regs = append(regs, r)
+								srcs = append(srcs, "perBlock")
+							}
+							for x := 0; x < len(regs); x++ {
+								for y := x + 1; y < len(regs); y++ {
+									if ov := regs[x].Intersect(regs[y]); !ov.Empty() {
+										t.Errorf("island %d d=%d block %d stage %q: %s %v and %s %v overlap at %v",
+											ti, d, b, p.prog.Stages[s].Name, srcs[x], regs[x], srcs[y], regs[y], ov)
+									}
+								}
+							}
+							if len(regs) > 1 {
+								checked++
+							}
+						}
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("no banded phases checked — the case no longer exercises wrap bands")
+			}
+		})
+	}
+}

@@ -4,36 +4,30 @@ import (
 	"fmt"
 	"testing"
 
+	"islands/internal/exec"
 	"islands/internal/grid"
-	"islands/internal/sched"
+	"islands/internal/stencil"
+	"islands/internal/topology"
 )
 
-// BenchmarkSolve measures the pressure solve across worker counts and
-// preconditioning, reporting iterations and cell throughput.
+// BenchmarkSolve measures the sequential pressure solve with and without
+// preconditioning, reporting iterations and cell throughput. (The parallel
+// arm of the package is the compiled smoother, benchmarked below.)
 func BenchmarkSolve(b *testing.B) {
 	domain := grid.Sz(48, 48, 24)
 	_, rhs := manufactured(domain)
 	for _, cfg := range []struct {
 		name   string
-		teams  int
-		per    int
 		sweeps int
 	}{
-		{"sequential", 0, 0, 0},
-		{"sequential-precond", 0, 0, 2},
-		{"2x4workers", 2, 4, 0},
-		{"2x4workers-precond", 2, 4, 2},
+		{"sequential", 0},
+		{"sequential-precond", 2},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			var sch *sched.Scheduler
-			if cfg.teams > 0 {
-				sch = sched.NewSized(cfg.teams, cfg.per)
-				defer sch.Close()
-			}
 			var iters int
 			for i := 0; i < b.N; i++ {
 				s := NewSolver(domain, Laplacian(domain), Options{
-					Tol: 1e-8, Scheduler: sch, PrecondSweeps: cfg.sweeps,
+					Tol: 1e-8, PrecondSweeps: cfg.sweeps,
 				})
 				x := grid.NewField("x", domain)
 				res, err := s.Solve(x, rhs)
@@ -47,6 +41,49 @@ func BenchmarkSolve(b *testing.B) {
 			}
 			b.ReportMetric(float64(iters), "iterations")
 			b.ReportMetric(float64(domain.Cells()*iters)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcell-iters/s")
+		})
+	}
+}
+
+// BenchmarkSmootherCompiled measures the damped-Jacobi smoother through the
+// compiled islands executor — the package's parallel path since the
+// scheduler-parallel vector machinery was removed.
+func BenchmarkSmootherCompiled(b *testing.B) {
+	machine, err := topology.UV2000(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	domain := grid.Sz(96, 64, 32)
+	const sweeps = 16
+	for _, strat := range []struct {
+		name string
+		s    exec.Strategy
+	}{{"original", exec.Original}, {"islands", exec.IslandsOfCores}} {
+		b.Run(strat.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog, err := NewSmootherProgram()
+				if err != nil {
+					b.Fatal(err)
+				}
+				x := grid.NewField("x", domain)
+				rhs := grid.NewField("b", domain)
+				rhs.FillFunc(func(i, j, k int) float64 { return float64((i+j+k)%5) - 2 })
+				r, err := exec.NewRunner(exec.Config{
+					Machine: machine, Strategy: strat.s, Boundary: stencil.Clamp, Steps: sweeps,
+				}, prog, map[string]*grid.Field{InX: x, InB: rhs}, InX)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := r.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				r.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(domain.Cells()*sweeps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcell-sweeps/s")
 		})
 	}
 }

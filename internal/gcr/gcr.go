@@ -16,9 +16,7 @@ import (
 	"fmt"
 	"math"
 
-	"islands/internal/decomp"
 	"islands/internal/grid"
-	"islands/internal/sched"
 	"islands/internal/stencil"
 )
 
@@ -120,16 +118,11 @@ type Options struct {
 	MaxIter int
 	// Tol is the relative residual reduction target ||r||/||b||. Default 1e-8.
 	Tol float64
-	// Scheduler, when set, parallelizes the operator applications, AXPYs
-	// and inner products across its work teams (islands); nil runs
-	// sequentially.
-	Scheduler *sched.Scheduler
 	// PrecondSweeps, when positive, preconditions each new search
 	// direction with that many damped-Jacobi relaxation sweeps (weight
-	// 2/3, diagonal 6) — the cheap approximate inverse EULAG-style
+	// Omega = 2/3, diagonal 6) — the cheap approximate inverse EULAG-style
 	// preconditioned GCR uses (reference [3] parallelizes exactly this
-	// preconditioned solver). The sweeps are phase-synchronized, so they
-	// parallelize safely across chunks.
+	// preconditioned solver).
 	PrecondSweeps int
 }
 
@@ -154,31 +147,26 @@ type Result struct {
 	Converged bool
 }
 
-// Solver holds the solve workspace.
+// Solver holds the solve workspace. The Krylov iteration is deliberately
+// sequential: its global inner products need a reduction every iteration and
+// do not fit a per-step stage DAG, so the compiled islands path covers only
+// the smoother (NewSmootherProgram, registered in the solver catalog) while
+// this loop stays the bit-identity reference. The former hand-rolled
+// scheduler-parallel vector machinery was removed with that migration.
 type Solver struct {
 	opts   Options
 	domain grid.Size
 	apply  Operator
-	chunks []grid.Region
+	whole  grid.Region
 	// workspace vectors
-	r, ar      *grid.Field
-	ps, aps    []*grid.Field
-	partialDot []float64
+	r, ar   *grid.Field
+	ps, aps []*grid.Field
 }
 
 // NewSolver allocates a GCR(k) solver for the operator on the domain.
 func NewSolver(domain grid.Size, apply Operator, opts Options) *Solver {
 	opts.defaults()
-	s := &Solver{opts: opts, domain: domain, apply: apply}
-	whole := grid.WholeRegion(domain)
-	if opts.Scheduler != nil {
-		n := opts.Scheduler.TotalCores()
-		s.chunks = decomp.SplitDim(whole, 0, n)
-		s.partialDot = make([]float64, n)
-	} else {
-		s.chunks = []grid.Region{whole}
-		s.partialDot = make([]float64, 1)
-	}
+	s := &Solver{opts: opts, domain: domain, apply: apply, whole: grid.WholeRegion(domain)}
 	s.r = grid.NewField("gcr.r", domain)
 	s.ar = grid.NewField("gcr.Ar", domain)
 	for i := 0; i < opts.K; i++ {
@@ -188,105 +176,40 @@ func NewSolver(domain grid.Size, apply Operator, opts Options) *Solver {
 	return s
 }
 
-// parallel runs fn over the solver's chunks (one goroutine per core when a
-// scheduler is attached; inline otherwise).
-func (s *Solver) parallel(fn func(chunk int, r grid.Region)) {
-	if s.opts.Scheduler == nil {
-		fn(0, s.chunks[0])
-		return
-	}
-	sch := s.opts.Scheduler
-	sch.RunAll(func(team, worker int) {
-		c := sch.Teams[team].Cores[worker]
-		if !s.chunks[c].Empty() {
-			fn(c, s.chunks[c])
-		}
-	})
-}
-
-// dot computes <a,b> with per-chunk partials reduced in fixed chunk order,
-// so the parallel result is deterministic.
+// dot computes <a,b> over the whole domain in flat order.
 func (s *Solver) dot(a, b *grid.Field) float64 {
-	s.parallel(func(c int, reg grid.Region) {
-		var sum float64
-		for i := reg.I0; i < reg.I1; i++ {
-			for j := reg.J0; j < reg.J1; j++ {
-				base := (i*s.domain.NJ + j) * s.domain.NK
-				for k := reg.K0; k < reg.K1; k++ {
-					sum += a.Data[base+k] * b.Data[base+k]
-				}
-			}
-		}
-		s.partialDot[c] = sum
-	})
-	var total float64
-	for c := range s.chunks {
-		total += s.partialDot[c]
-		s.partialDot[c] = 0
+	var sum float64
+	for n := range a.Data {
+		sum += a.Data[n] * b.Data[n]
 	}
-	return total
+	return sum
 }
 
-// axpy computes y += alpha*x chunk-parallel.
+// axpy computes y += alpha*x.
 func (s *Solver) axpy(alpha float64, x, y *grid.Field) {
-	s.parallel(func(_ int, reg grid.Region) {
-		for i := reg.I0; i < reg.I1; i++ {
-			for j := reg.J0; j < reg.J1; j++ {
-				base := (i*s.domain.NJ + j) * s.domain.NK
-				for k := reg.K0; k < reg.K1; k++ {
-					y.Data[base+k] += alpha * x.Data[base+k]
-				}
-			}
-		}
-	})
+	for n := range y.Data {
+		y.Data[n] += alpha * x.Data[n]
+	}
 }
 
-// applyOp runs the operator chunk-parallel.
+// applyOp runs the operator over the whole domain.
 func (s *Solver) applyOp(dst, src *grid.Field) {
-	s.parallel(func(_ int, reg grid.Region) {
-		s.apply(dst, src, reg)
-	})
+	s.apply(dst, src, s.whole)
 }
 
-// copyInto copies src into dst chunk-parallel.
-func (s *Solver) copyInto(dst, src *grid.Field) {
-	s.parallel(func(_ int, reg grid.Region) {
-		grid.CopyRegion(dst, src, reg)
-	})
-}
-
-// scale sets dst = alpha*src chunk-parallel.
-func (s *Solver) scale(dst *grid.Field, alpha float64, src *grid.Field) {
-	s.parallel(func(_ int, reg grid.Region) {
-		for i := reg.I0; i < reg.I1; i++ {
-			for j := reg.J0; j < reg.J1; j++ {
-				base := (i*s.domain.NJ + j) * s.domain.NK
-				for k := reg.K0; k < reg.K1; k++ {
-					dst.Data[base+k] = alpha * src.Data[base+k]
-				}
-			}
-		}
-	})
-}
-
-// precondition sets dst ~= A^-1 src via damped-Jacobi sweeps. Each sweep is
-// two synchronized phases (operator application, then the relaxation
-// update), so neighbouring chunks never race.
+// precondition sets dst ~= A^-1 src via PrecondSweeps damped-Jacobi sweeps
+// from a zero initial iterate — the same relaxation NewSmootherProgram
+// compiles, applied here through the solver's (possibly variable-coefficient)
+// operator.
 func (s *Solver) precondition(dst, src *grid.Field) {
-	const omega = 2.0 / 3
-	s.scale(dst, omega/6, src)
+	for n := range dst.Data {
+		dst.Data[n] = Omega / 6 * src.Data[n]
+	}
 	for sweep := 1; sweep < s.opts.PrecondSweeps; sweep++ {
 		s.applyOp(s.ar, dst) // s.ar is free scratch here
-		s.parallel(func(_ int, reg grid.Region) {
-			for i := reg.I0; i < reg.I1; i++ {
-				for j := reg.J0; j < reg.J1; j++ {
-					base := (i*s.domain.NJ + j) * s.domain.NK
-					for k := reg.K0; k < reg.K1; k++ {
-						dst.Data[base+k] += omega / 6 * (src.Data[base+k] - s.ar.Data[base+k])
-					}
-				}
-			}
-		})
+		for n := range dst.Data {
+			dst.Data[n] += Omega / 6 * (src.Data[n] - s.ar.Data[n])
+		}
 	}
 }
 
@@ -304,7 +227,7 @@ func (s *Solver) Solve(x, b *grid.Field) (*Result, error) {
 
 	// r = b - A x
 	s.applyOp(s.ar, x)
-	s.copyInto(s.r, b)
+	s.r.CopyFrom(b)
 	s.axpy(-1, s.ar, s.r)
 
 	res := &Result{}
@@ -321,7 +244,7 @@ func (s *Solver) Solve(x, b *grid.Field) (*Result, error) {
 		if s.opts.PrecondSweeps > 0 {
 			s.precondition(p, s.r)
 		} else {
-			s.copyInto(p, s.r)
+			p.CopyFrom(s.r)
 		}
 		s.applyOp(ap, p)
 		for j := 0; j < s.opts.K; j++ {

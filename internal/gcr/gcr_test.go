@@ -4,8 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"islands/internal/exec"
 	"islands/internal/grid"
-	"islands/internal/sched"
+	"islands/internal/stencil"
+	"islands/internal/topology"
 )
 
 // manufactured builds the Poisson problem A·x* = b for a polynomial bump
@@ -71,36 +73,53 @@ func TestSolvePoissonSequential(t *testing.T) {
 	t.Logf("converged in %d iterations to %.2e", res.Iterations, res.Residual)
 }
 
-func TestSolveParallelMatchesSequential(t *testing.T) {
-	domain := grid.Sz(24, 16, 8)
-	exact, b := manufactured(domain)
-
-	seq := NewSolver(domain, Laplacian(domain), Options{Tol: 1e-10})
-	xs := grid.NewField("xs", domain)
-	rs, err := seq.Solve(xs, b)
+// TestSmootherCompiledMatchesReference is the package's parallel-execution
+// coverage since the scheduler-parallel vector machinery was removed: the
+// damped-Jacobi smoother program run through the compiled islands executor
+// (the path the solver catalog serves) must be bit-identical to
+// SmootherReference under both boundary conditions and with temporal
+// blocking.
+func TestSmootherCompiledMatchesReference(t *testing.T) {
+	machine, err := topology.UV2000(2)
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	sch := sched.NewSized(2, 4)
-	defer sch.Close()
-	par := NewSolver(domain, Laplacian(domain), Options{Tol: 1e-10, Scheduler: sch})
-	xp := grid.NewField("xp", domain)
-	rp, err := par.Solve(xp, b)
-	if err != nil {
-		t.Fatal(err)
+	domain := grid.Sz(22, 14, 6)
+	seed := func() (*grid.Field, *grid.Field) {
+		x := grid.NewField("x", domain)
+		b := grid.NewField("b", domain)
+		x.FillFunc(func(i, j, k int) float64 { return float64((i*5+j*3+k*7)%11) - 5 })
+		b.FillFunc(func(i, j, k int) float64 { return float64((i*2+j*9+k)%7) - 3 })
+		return x, b
 	}
-	if !rs.Converged || !rp.Converged {
-		t.Fatalf("convergence mismatch: %+v vs %+v", rs, rp)
-	}
-	// The parallel reduction order is fixed (per-chunk partials summed in
-	// chunk order), but differs from the sequential full-order sum, so
-	// allow rounding-level differences only.
-	if d := grid.MaxAbsDiff(xs, xp); d > 1e-9 {
-		t.Fatalf("parallel solution differs by %g", d)
-	}
-	if d := grid.MaxAbsDiff(exact, xp); d > 1e-8 {
-		t.Fatalf("parallel solution error %g", d)
+	const sweeps = 6
+	for _, bc := range []stencil.Boundary{stencil.Clamp, stencil.Periodic} {
+		for _, ksteps := range []int{1, 2} {
+			want, wb := seed()
+			if err := SmootherReference(want, wb, sweeps, bc); err != nil {
+				t.Fatal(err)
+			}
+			prog, err := NewSmootherProgram()
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, b := seed()
+			r, err := exec.NewRunner(exec.Config{
+				Machine: machine, Strategy: exec.IslandsOfCores, Boundary: bc,
+				Steps: sweeps, BlockI: 5, KSteps: ksteps,
+			}, prog, map[string]*grid.Field{InX: x, InB: b}, InX)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			r.SyncFeedback()
+			r.Close()
+			if d := grid.MaxAbsDiff(want, x); d != 0 {
+				t.Fatalf("bc=%v k=%d: compiled smoother differs from reference by %g", bc, ksteps, d)
+			}
+		}
 	}
 }
 
@@ -233,25 +252,33 @@ func TestPreconditionerReducesIterations(t *testing.T) {
 	t.Logf("iterations: %d plain, %d with 3 relaxation sweeps", plain.Iterations, pre.Iterations)
 }
 
-// TestPreconditionerParallelSafe: preconditioned parallel solves match the
-// sequential preconditioned solve.
-func TestPreconditionerParallelSafe(t *testing.T) {
-	domain := grid.Sz(24, 16, 8)
-	_, b := manufactured(domain)
-	seq := NewSolver(domain, Laplacian(domain), Options{Tol: 1e-9, PrecondSweeps: 2})
-	xs := grid.NewField("xs", domain)
-	if _, err := seq.Solve(xs, b); err != nil {
-		t.Fatal(err)
+// TestSmootherReducesResidual: the compiled-path smoother is an actual
+// approximate inverse — sweeps of it shrink the 7-point residual ||b − A·x||
+// monotonically on a smooth problem.
+func TestSmootherReducesResidual(t *testing.T) {
+	domain := grid.Sz(16, 12, 10)
+	x := grid.NewField("x", domain)
+	b := grid.NewField("b", domain)
+	b.FillFunc(func(i, j, k int) float64 { return float64((i+j+k)%5) - 2 })
+	env := &stencil.Env{Domain: domain, BC: stencil.Clamp}
+	residual := func() float64 {
+		var sum float64
+		stencil.ForEach(grid.WholeRegion(domain), func(i, j, k int) {
+			r := b.At(i, j, k) - applyA(env, x, i, j, k)
+			sum += r * r
+		})
+		return math.Sqrt(sum)
 	}
-	sch := sched.NewSized(3, 2)
-	defer sch.Close()
-	par := NewSolver(domain, Laplacian(domain), Options{Tol: 1e-9, PrecondSweeps: 2, Scheduler: sch})
-	xp := grid.NewField("xp", domain)
-	if _, err := par.Solve(xp, b); err != nil {
-		t.Fatal(err)
-	}
-	if d := grid.MaxAbsDiff(xs, xp); d > 1e-9 {
-		t.Fatalf("parallel preconditioned solve differs by %g", d)
+	last := residual()
+	for s := 0; s < 4; s++ {
+		if err := SmootherReference(x, b, 2, stencil.Clamp); err != nil {
+			t.Fatal(err)
+		}
+		cur := residual()
+		if cur >= last {
+			t.Fatalf("residual did not drop after sweeps %d..%d: %g -> %g", 2*s, 2*s+2, last, cur)
+		}
+		last = cur
 	}
 }
 

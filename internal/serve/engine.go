@@ -4,7 +4,8 @@ import (
 	"fmt"
 
 	"islands/internal/exec"
-	"islands/internal/mpdata"
+	"islands/internal/grid"
+	"islands/internal/solver"
 )
 
 // Engine is one pre-warmed, reusable execution slot: a compiled runner (with
@@ -48,33 +49,40 @@ type EngineInfo struct {
 }
 
 // EngineFactory builds an engine for a normalized spec. The server's default
-// factory compiles an MPDATA runner; tests substitute deterministic or
-// failure-injecting engines.
+// factory compiles the spec's catalog solver; tests substitute deterministic
+// or failure-injecting engines.
 type EngineFactory func(n NormSpec) (Engine, error)
 
 // Checksums summarizes a solution field so clients can verify runs cheaply.
 type Checksums struct {
-	// Sum, Min and Max are taken over the final psi field.
+	// Sum, Min and Max are taken over the solver's final feedback field
+	// (psi for mpdata).
 	Sum float64 `json:"sum"`
 	Min float64 `json:"min"`
 	Max float64 `json:"max"`
 	// MassDrift is (Sum - initial Sum) / initial Sum — the conservation
-	// invariant of MPDATA's donor-cell formulation.
+	// invariant of MPDATA's donor-cell formulation. Reported for every
+	// solver, but a physical invariant only where the scheme conserves the
+	// field's sum.
 	MassDrift float64 `json:"mass_drift"`
 }
 
-// mpdataEngine is the production engine: an MPDATA state plus a runner
-// compiled for one step per dispatch.
-type mpdataEngine struct {
+// solverEngine is the production engine: a catalog solver's state plus a
+// runner compiled for one dispatch unit per Step. No solver-specific code —
+// the catalog entry supplies the program, the state, the problem fill and
+// the feedback field the checksums summarize.
+type solverEngine struct {
 	ns     NormSpec
-	state  *mpdata.State
+	entry  *solver.Entry
+	state  *solver.State
+	out    *grid.Field
 	runner *exec.Runner
 	massIn float64
 	synced bool
 }
 
 // CheckKSteps verifies a temporal-blocking request would actually compile at
-// the requested k for the spec's MPDATA program — the shared feasibility
+// the requested k for the spec's solver program — the shared feasibility
 // gate behind both the server's spec validation and mpdata-sim -ksteps, so
 // both reject an infeasible k with the same executor error text.
 func (n NormSpec) CheckKSteps() error {
@@ -85,82 +93,93 @@ func (n NormSpec) CheckKSteps() error {
 	if err != nil {
 		return err
 	}
-	prog, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: n.IORD, NonOscillatory: !n.Unlimited})
+	entry, err := n.SolverEntry()
+	if err != nil {
+		return err
+	}
+	prog, err := entry.NewProgram(n.SolverOptions())
 	if err != nil {
 		return err
 	}
 	return exec.CheckKSteps(ec, &prog.Program, n.Domain)
 }
 
-// NewMPDATAEngine compiles an MPDATA runner for the spec — the pool's
-// default factory. The compile cost this pays (schedule, environments, halo
-// strips) is exactly what the cache amortizes across repeat jobs.
-func NewMPDATAEngine(n NormSpec) (Engine, error) {
+// NewSolverEngine compiles the spec's catalog solver — the pool's default
+// factory. The compile cost this pays (schedule, environments, halo strips)
+// is exactly what the cache amortizes across repeat jobs.
+func NewSolverEngine(n NormSpec) (Engine, error) {
 	ec, err := n.ExecConfig()
 	if err != nil {
 		return nil, err
 	}
-	prog, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: n.IORD, NonOscillatory: !n.Unlimited})
+	entry, err := n.SolverEntry()
 	if err != nil {
 		return nil, err
 	}
-	state := mpdata.NewState(n.Domain)
-	runner, err := exec.NewRunner(ec, prog, state.InputMap(), mpdata.InPsi)
+	prog, err := entry.NewProgram(n.SolverOptions())
 	if err != nil {
 		return nil, err
 	}
-	return &mpdataEngine{ns: n, state: state, runner: runner}, nil
+	state, err := entry.NewState(n.Domain)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := exec.NewRunner(ec, prog, state.Inputs, state.Feedback)
+	if err != nil {
+		return nil, err
+	}
+	return &solverEngine{ns: n, entry: entry, state: state, out: state.Output(), runner: runner}, nil
 }
 
-// Reset writes the standard test problem (a Gaussian blob in solid-body
-// rotation, the same initial conditions mpdata-sim uses) into the shared
-// fields and re-imports them into the islands' private halo buffers. The
-// SetStandardProblem fill is what streamed jobs seed their spill stores
-// with, so a streamed job's checksums are bit-comparable to a resident run.
-func (e *mpdataEngine) Reset() error {
-	e.state.SetStandardProblem()
-	// The swap+halo feedback mode keeps private psi buffers per island;
-	// re-import the freshly written shared field (no-op otherwise).
+// Reset writes the solver's standard problem (for mpdata: the Gaussian blob
+// in solid-body rotation mpdata-sim uses) into the shared fields and
+// re-imports them into the islands' private halo buffers. The same fill is
+// what streamed jobs seed their spill stores with, so a streamed job's
+// checksums are bit-comparable to a resident run.
+func (e *solverEngine) Reset() error {
+	e.entry.SetProblem(e.state)
+	// The swap+halo feedback mode keeps private feedback buffers per
+	// island; re-import the freshly written shared field (no-op otherwise).
 	e.runner.ReloadFeedback()
-	e.massIn = e.state.Psi.Sum()
+	e.massIn = e.out.Sum()
 	e.synced = true
 	return nil
 }
 
 // Step advances one time step (one alloc-free dispatch of the compiled
 // schedule).
-func (e *mpdataEngine) Step() error {
+func (e *solverEngine) Step() error {
 	e.synced = false
 	return e.runner.Run()
 }
 
 // Abort cancels an in-flight step through the barrier-abort path.
-func (e *mpdataEngine) Abort(reason string) {
+func (e *solverEngine) Abort(reason string) {
 	e.runner.Abort(fmt.Sprintf("serve: %s", reason))
 }
 
 // Checksums materializes the feedback field (swap+halo mode keeps it in
 // private buffers during the step loop) and summarizes it.
-func (e *mpdataEngine) Checksums() Checksums {
+func (e *solverEngine) Checksums() Checksums {
 	if !e.synced {
 		e.runner.SyncFeedback()
 		e.synced = true
 	}
-	sum := e.state.Psi.Sum()
+	sum := e.out.Sum()
 	var drift float64
 	if e.massIn != 0 {
 		drift = (sum - e.massIn) / e.massIn
 	}
 	return Checksums{
 		Sum:       sum,
-		Min:       e.state.Psi.Min(),
-		Max:       e.state.Psi.Max(),
+		Min:       e.out.Min(),
+		Max:       e.out.Max(),
 		MassDrift: drift,
 	}
 }
 
 // SetProfiling toggles the runner's per-phase profiler.
-func (e *mpdataEngine) SetProfiling(on bool) {
+func (e *solverEngine) SetProfiling(on bool) {
 	if on {
 		e.runner.EnableProfile(false)
 	} else {
@@ -169,13 +188,13 @@ func (e *mpdataEngine) SetProfiling(on bool) {
 }
 
 // Profile returns the runner's aggregated profile (nil when off).
-func (e *mpdataEngine) Profile() *exec.Profile { return e.runner.Profile() }
+func (e *solverEngine) Profile() *exec.Profile { return e.runner.Profile() }
 
 // Info reports the compiled schedule's effective temporal blocking.
-func (e *mpdataEngine) Info() EngineInfo {
+func (e *solverEngine) Info() EngineInfo {
 	sch := e.runner.Schedule()
 	return EngineInfo{KSteps: sch.KSteps(), KStepFallback: sch.KStepFallbackReason()}
 }
 
 // Close releases the runner's work teams.
-func (e *mpdataEngine) Close() { e.runner.Close() }
+func (e *solverEngine) Close() { e.runner.Close() }

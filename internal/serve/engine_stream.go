@@ -173,6 +173,7 @@ func (e *streamEngine) Reset() error {
 		Dir:        e.dir,
 		Exec:       cfg,
 		Domain:     e.ns.Domain,
+		Solver:     e.ns.Solver,
 		IORD:       e.ns.IORD,
 		Unlimited:  e.ns.Unlimited,
 		TilePlanes: tilePlanes,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"islands/internal/exec"
+	"islands/internal/solver"
 )
 
 // stepBuckets are the per-step latency histogram bounds in seconds.
@@ -61,11 +62,84 @@ type Metrics struct {
 	StreamResumed      atomic.Uint64
 
 	mu    sync.Mutex
-	steps map[string]*histogram // per-strategy step latency
+	steps map[string]*histogram         // per-strategy step latency
+	jobs  map[string]*solverJobCounters // per-solver job outcomes
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{steps: make(map[string]*histogram)}
+	return &Metrics{
+		steps: make(map[string]*histogram),
+		jobs:  make(map[string]*solverJobCounters),
+	}
+}
+
+// solverJobCounters is one solver label's job-outcome counters — the labeled
+// companions of the unlabeled serve_jobs_* totals (which stay untouched so
+// existing scrapers keep parsing them).
+type solverJobCounters struct {
+	Submitted atomic.Uint64
+	Rejected  atomic.Uint64
+	Succeeded atomic.Uint64
+	Failed    atomic.Uint64
+	Canceled  atomic.Uint64
+}
+
+// validSolverLabels is the closed set of per-solver label values: the solver
+// catalog's entry names. Anything else folds into "other", bounding the
+// labeled series' cardinality exactly like the step histogram's strategy
+// labels.
+var validSolverLabels = func() map[string]struct{} {
+	v := make(map[string]struct{})
+	for _, n := range solver.Names() {
+		v[n] = struct{}{}
+	}
+	return v
+}()
+
+// jobCounters returns the counter block for a solver label, folding unknown
+// names into "other".
+func (m *Metrics) jobCounters(label string) *solverJobCounters {
+	if _, ok := validSolverLabels[label]; !ok {
+		label = stepLabelOther
+	}
+	m.mu.Lock()
+	c := m.jobs[label]
+	if c == nil {
+		c = &solverJobCounters{}
+		m.jobs[label] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// JobSubmitted counts one accepted job, in total and under its solver label.
+func (m *Metrics) JobSubmitted(solver string) {
+	m.Submitted.Add(1)
+	m.jobCounters(solver).Submitted.Add(1)
+}
+
+// JobRejected counts one admission-control rejection.
+func (m *Metrics) JobRejected(solver string) {
+	m.Rejected.Add(1)
+	m.jobCounters(solver).Rejected.Add(1)
+}
+
+// JobSucceeded counts one successful completion.
+func (m *Metrics) JobSucceeded(solver string) {
+	m.Succeeded.Add(1)
+	m.jobCounters(solver).Succeeded.Add(1)
+}
+
+// JobFailed counts one failed job.
+func (m *Metrics) JobFailed(solver string) {
+	m.Failed.Add(1)
+	m.jobCounters(solver).Failed.Add(1)
+}
+
+// JobCanceled counts one canceled or expired job.
+func (m *Metrics) JobCanceled(solver string) {
+	m.Canceled.Add(1)
+	m.jobCounters(solver).Canceled.Add(1)
 }
 
 // stepLabelOther buckets step observations whose strategy label is not one
@@ -143,11 +217,36 @@ func (m *Metrics) write(w io.Writer, g gauges) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
-	c("serve_jobs_submitted_total", "Jobs accepted into the queue.", m.Submitted.Load())
-	c("serve_jobs_rejected_total", "Jobs refused by admission control.", m.Rejected.Load())
-	c("serve_jobs_succeeded_total", "Jobs that completed successfully.", m.Succeeded.Load())
-	c("serve_jobs_failed_total", "Jobs that failed (worker failure or internal error).", m.Failed.Load())
-	c("serve_jobs_canceled_total", "Jobs canceled or expired (deadline, drain).", m.Canceled.Load())
+	// Snapshot the per-solver counters once; each serve_jobs_* family below
+	// emits its unlabeled total (stable for existing scrapers) followed by
+	// one {solver=...} series per label seen.
+	m.mu.Lock()
+	solverLabels := make([]string, 0, len(m.jobs))
+	for k := range m.jobs {
+		solverLabels = append(solverLabels, k)
+	}
+	sort.Strings(solverLabels)
+	solverCounts := make([]*solverJobCounters, len(solverLabels))
+	for i, k := range solverLabels {
+		solverCounts[i] = m.jobs[k]
+	}
+	m.mu.Unlock()
+	jc := func(name, help string, total uint64, per func(*solverJobCounters) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, total)
+		for i, label := range solverLabels {
+			fmt.Fprintf(w, "%s{solver=%q} %d\n", name, label, per(solverCounts[i]))
+		}
+	}
+	jc("serve_jobs_submitted_total", "Jobs accepted into the queue.", m.Submitted.Load(),
+		func(c *solverJobCounters) uint64 { return c.Submitted.Load() })
+	jc("serve_jobs_rejected_total", "Jobs refused by admission control.", m.Rejected.Load(),
+		func(c *solverJobCounters) uint64 { return c.Rejected.Load() })
+	jc("serve_jobs_succeeded_total", "Jobs that completed successfully.", m.Succeeded.Load(),
+		func(c *solverJobCounters) uint64 { return c.Succeeded.Load() })
+	jc("serve_jobs_failed_total", "Jobs that failed (worker failure or internal error).", m.Failed.Load(),
+		func(c *solverJobCounters) uint64 { return c.Failed.Load() })
+	jc("serve_jobs_canceled_total", "Jobs canceled or expired (deadline, drain).", m.Canceled.Load(),
+		func(c *solverJobCounters) uint64 { return c.Canceled.Load() })
 	c("serve_steps_total", "Completed simulation time steps across all jobs.", m.StepsRun.Load())
 	gauge("serve_jobs_running", "Jobs currently executing on a runner slot.", int64(g.Running))
 	gauge("serve_queue_depth", "Jobs waiting for admission.", int64(g.QueueDepth))

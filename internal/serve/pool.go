@@ -97,7 +97,7 @@ func NewPool(capacity, maxCached int, factory EngineFactory) *Pool {
 		}
 	}
 	if factory == nil {
-		factory = NewMPDATAEngine
+		factory = NewSolverEngine
 	}
 	p := &Pool{
 		capacity:  capacity,

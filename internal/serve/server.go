@@ -36,7 +36,7 @@ type Options struct {
 	QueueDepth int
 	// RetryAfter is the backoff hinted to rejected clients (0 = 1s).
 	RetryAfter time.Duration
-	// EngineFactory builds execution engines (nil = NewMPDATAEngine).
+	// EngineFactory builds execution engines (nil = NewSolverEngine).
 	// Tests substitute deterministic or failure-injecting engines.
 	EngineFactory EngineFactory
 	// Tuner, when set, maps every non-pinned job to the best-known knob
@@ -107,7 +107,7 @@ func NewServer(opts Options) *Server {
 			if ns.Streamed {
 				return newStreamEngine(s, ns)
 			}
-			return NewMPDATAEngine(ns)
+			return NewSolverEngine(ns)
 		}
 	}
 	s.pool = NewPool(opts.Slots, opts.MaxCached, factory)
@@ -229,11 +229,11 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		s.jobsWG.Done()
 		if qf := (*ErrQueueFull)(nil); errors.As(err, &qf) {
-			s.metrics.Rejected.Add(1)
+			s.metrics.JobRejected(ns.Solver)
 		}
 		return nil, err
 	}
-	s.metrics.Submitted.Add(1)
+	s.metrics.JobSubmitted(ns.Solver)
 	return j, nil
 }
 
@@ -504,12 +504,12 @@ func (s *Server) finishJob(j *Job, state JobState, errMsg string, result *Result
 	}
 	switch state {
 	case StateSucceeded:
-		s.metrics.Succeeded.Add(1)
+		s.metrics.JobSucceeded(j.ns.Solver)
 	case StateFailed:
-		s.metrics.Failed.Add(1)
+		s.metrics.JobFailed(j.ns.Solver)
 		s.opts.Logf("job %s failed: %s", j.ID, errMsg)
 	case StateCanceled:
-		s.metrics.Canceled.Add(1)
+		s.metrics.JobCanceled(j.ns.Solver)
 	}
 	s.jobsWG.Done()
 }

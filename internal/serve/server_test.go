@@ -230,7 +230,7 @@ func TestWorkerPanicFailsOnlyThatJob(t *testing.T) {
 		if n.Domain.NI == boomNI {
 			return newBoomEngine(n)
 		}
-		return serve.NewMPDATAEngine(n)
+		return serve.NewSolverEngine(n)
 	}
 	srv := serve.NewServer(serve.Options{Slots: 1, EngineFactory: factory, Logf: t.Logf})
 	defer srv.Close()

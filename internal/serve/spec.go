@@ -15,6 +15,7 @@ import (
 	"islands/internal/decomp"
 	"islands/internal/exec"
 	"islands/internal/grid"
+	"islands/internal/solver"
 	"islands/internal/stencil"
 	"islands/internal/topology"
 )
@@ -65,7 +66,12 @@ func (e *ErrGridTooLarge) Error() string {
 type Spec struct {
 	// Grid is the domain size as "NIxNJxNK" (e.g. "128x64x16"). Required.
 	Grid string `json:"grid"`
-	// Steps is the number of MPDATA time steps (1..MaxSteps). Required.
+	// Solver names the stencil program to run, one of the catalog entries
+	// (docs/SOLVERS.md; "" = mpdata). Solvers with a k-axis component
+	// packing constrain NK — the spec is rejected when the grid violates
+	// the solver's domain check.
+	Solver string `json:"solver,omitempty"`
+	// Steps is the number of time steps (1..MaxSteps). Required.
 	Steps int `json:"steps"`
 	// Strategy is "original", "3+1d" or "islands" ("" = islands).
 	Strategy string `json:"strategy,omitempty"`
@@ -125,7 +131,9 @@ type Spec struct {
 
 // NormSpec is a validated, fully defaulted spec in the executor's types.
 type NormSpec struct {
-	Domain              grid.Size
+	Domain grid.Size
+	// Solver is the canonical catalog name (never empty after Normalize).
+	Solver              string
 	Steps               int
 	Strategy            exec.Strategy
 	Processors          int
@@ -263,7 +271,20 @@ func (s Spec) Normalize() (NormSpec, error) {
 	if n.Domain, err = ParseGrid(s.Grid); err != nil {
 		return n, err
 	}
+	entry, err := solver.Lookup(s.Solver)
+	if err != nil {
+		return n, err
+	}
+	n.Solver = entry.Name
+	if entry.CheckDomain != nil {
+		if err := entry.CheckDomain(n.Domain); err != nil {
+			return n, err
+		}
+	}
 	n.Streamed = s.Streamed
+	if n.Streamed && !entry.Streamable() {
+		return n, fmt.Errorf("solver %q does not support streamed jobs (no plane seeding); run it resident", entry.Name)
+	}
 	cells := int64(n.Domain.NI) * int64(n.Domain.NJ) * int64(n.Domain.NK)
 	if !n.Streamed && cells > MaxGridCells {
 		return n, &ErrGridTooLarge{Grid: s.Grid, Cells: cells, Limit: MaxGridCells}
@@ -310,14 +331,25 @@ func (s Spec) Normalize() (NormSpec, error) {
 			return n, fmt.Errorf("steps %d is not a multiple of ksteps %d (served jobs advance whole k-step blocks)", n.Steps, n.KSteps)
 		}
 	}
-	n.IORD = s.IORD
-	if n.IORD == 0 {
-		n.IORD = 2
+	if !entry.MPDATAOptions {
+		// The scheme knobs are MPDATA-specific; a non-default value on
+		// another solver is a misdirected request, not a silent no-op.
+		if s.IORD != 0 {
+			return n, fmt.Errorf("iord applies only to the mpdata solver, not %q", entry.Name)
+		}
+		if s.Unlimited {
+			return n, fmt.Errorf("unlimited applies only to the mpdata solver, not %q", entry.Name)
+		}
+	} else {
+		n.IORD = s.IORD
+		if n.IORD == 0 {
+			n.IORD = 2
+		}
+		if n.IORD < 1 || n.IORD > 4 {
+			return n, fmt.Errorf("iord must be 1..4, got %d", s.IORD)
+		}
+		n.Unlimited = s.Unlimited
 	}
-	if n.IORD < 1 || n.IORD > 4 {
-		return n, fmt.Errorf("iord must be 1..4, got %d", s.IORD)
-	}
-	n.Unlimited = s.Unlimited
 	if s.BlockI < 0 {
 		return n, fmt.Errorf("block_i must be non-negative, got %d", s.BlockI)
 	}
@@ -408,7 +440,11 @@ func (n NormSpec) StrategyName() string {
 // step when KSteps <= 1) per dispatch, so jobs of any length (and any
 // deadline) reuse it.
 type CacheKey struct {
-	Domain              grid.Size
+	Domain grid.Size
+	// Solver keys the cache (and the fleet router's affinity hash, which
+	// hashes the whole key): engines compile one solver's program and are
+	// never shared across catalog entries.
+	Solver              string
 	Strategy            exec.Strategy
 	Processors          int
 	Placement           grid.PlacementPolicy
@@ -434,6 +470,7 @@ type CacheKey struct {
 func (n NormSpec) Key() CacheKey {
 	return CacheKey{
 		Domain:              n.Domain,
+		Solver:              n.Solver,
 		Strategy:            n.Strategy,
 		Processors:          n.Processors,
 		Placement:           n.Placement,
@@ -479,6 +516,18 @@ func (n NormSpec) ExecConfig() (exec.Config, error) {
 // StepsPerDispatch is the number of time steps one engine Step advances: the
 // temporal block size, or 1 without temporal blocking.
 func (n NormSpec) StepsPerDispatch() int { return max(n.KSteps, 1) }
+
+// SolverEntry resolves the spec's catalog entry. Normalize canonicalized the
+// name, so a lookup failure on a normalized spec is a programming error.
+func (n NormSpec) SolverEntry() (*solver.Entry, error) {
+	return solver.Lookup(n.Solver)
+}
+
+// SolverOptions are the spec's program-build options in the catalog's form
+// (zero-valued for solvers without MPDATA options).
+func (n NormSpec) SolverOptions() solver.Options {
+	return solver.Options{IORD: n.IORD, Unlimited: n.Unlimited}
+}
 
 // ConfigLabel names the spec's execution configuration in the advisor's
 // candidate vocabulary ("islands 1D-A k=4 b=16", ...) — the

@@ -1,7 +1,7 @@
 package serve
 
 import (
-	"islands/internal/mpdata"
+	"islands/internal/solver"
 	"islands/internal/stencil"
 	"islands/internal/tune"
 )
@@ -31,7 +31,7 @@ type TunerOptions struct {
 }
 
 // NewTuner builds the serving tuner: candidates seeded from the machine
-// model over each class's MPDATA program, refined online by served jobs.
+// model over each class's solver program, refined online by served jobs.
 func NewTuner(o TunerOptions) (*tune.Tuner, error) {
 	eps := o.Epsilon
 	switch {
@@ -49,9 +49,15 @@ func NewTuner(o TunerOptions) (*tune.Tuner, error) {
 	})
 }
 
-// classProgram builds the MPDATA program of a tuner class.
+// classProgram builds the stage program of a tuner class by dispatching on
+// the class's catalog solver ("" reads as the default entry, so classes from
+// before the Solver axis keep working).
 func classProgram(c tune.Class) (*stencil.Program, error) {
-	prog, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: c.IORD, NonOscillatory: !c.Unlimited})
+	entry, err := solver.Lookup(c.Solver)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := entry.NewProgram(solver.Options{IORD: c.IORD, Unlimited: c.Unlimited})
 	if err != nil {
 		return nil, err
 	}
@@ -59,9 +65,12 @@ func classProgram(c tune.Class) (*stencil.Program, error) {
 }
 
 // classOf maps a normalized spec to its tuner problem class — the fields a
-// tuned configuration must preserve.
+// tuned configuration must preserve. The solver is a class axis: each
+// catalog entry has its own stage graph and cost profile, so rankings never
+// mix across solvers.
 func classOf(ns NormSpec) tune.Class {
 	return tune.Class{
+		Solver:              ns.Solver,
 		Domain:              ns.Domain,
 		Processors:          ns.Processors,
 		Variant:             ns.Variant,

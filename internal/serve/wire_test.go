@@ -105,6 +105,41 @@ func TestStepLabelCardinalityBounded(t *testing.T) {
 	}
 }
 
+// TestSolverLabelCardinalityBounded asserts the per-solver job counters fold
+// names outside the solver catalog into "other" instead of minting a labeled
+// series per input string, and that the unlabeled totals existing scrapers
+// parse survive alongside the labels.
+func TestSolverLabelCardinalityBounded(t *testing.T) {
+	srv := serve.NewServer(serve.Options{Slots: 1, Logf: t.Logf})
+	defer srv.Close()
+	m := srv.Metrics()
+	for i := 0; i < 50; i++ {
+		m.JobSubmitted("evil-solver-" + strconv.Itoa(i))
+	}
+	m.JobSubmitted("heat")
+	m.JobSucceeded("heat")
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	exposition, err := serveclient.New(hs.URL).Metrics(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(exposition, "evil-solver-") {
+		t.Fatal("unknown solver label leaked into the metrics exposition")
+	}
+	if !strings.Contains(exposition, `serve_jobs_submitted_total{solver="other"} 50`) {
+		t.Fatal("unknown solver labels were not folded into the bounded \"other\" series")
+	}
+	if !strings.Contains(exposition, `serve_jobs_submitted_total{solver="heat"} 1`) ||
+		!strings.Contains(exposition, `serve_jobs_succeeded_total{solver="heat"} 1`) {
+		t.Fatal("per-solver job counters missing from the exposition")
+	}
+	if !strings.Contains(exposition, "\nserve_jobs_submitted_total 51\n") {
+		t.Fatal("unlabeled serve_jobs_submitted_total line missing or wrong")
+	}
+}
+
 // TestStatsEndpoint pins the /v1/stats probe the fleet router polls.
 func TestStatsEndpoint(t *testing.T) {
 	gate := make(chan struct{})

@@ -1,0 +1,37 @@
+package solver
+
+import (
+	"islands/internal/gcr"
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// The gcr entry is the migrated elliptic incumbent: the damped-Jacobi
+// smoother of EULAG-style preconditioned GCR as a two-stage compiled
+// program (internal/gcr keeps the definition and the sequential reference;
+// the full Krylov iteration stays sequential in gcr.Solver — its global
+// inner products need a per-iteration reduction that does not fit a stage
+// DAG). Structure diversity: a feedback iterate plus a constant second step
+// input (the right-hand side).
+
+func init() {
+	Register(&Entry{
+		Name:        "gcr",
+		Description: "GCR damped-Jacobi smoother (7-point operator, rhs rides as a constant input)",
+		NewProgram: func(Options) (*stencil.KernelProgram, error) {
+			return gcr.NewSmootherProgram()
+		},
+		NewState: func(domain grid.Size) (*State, error) {
+			return newState(domain, gcr.InX, gcr.InX, gcr.InB), nil
+		},
+		SetProblem: func(st *State) {
+			// Zero initial iterate under the standard Gaussian right-hand
+			// side: the smoother relaxes toward A^-1 b from scratch.
+			st.Inputs[gcr.InX].Fill(0)
+			fillStandardBlob(st.Inputs[gcr.InB], st.Domain)
+		},
+		Reference: func(st *State, steps int, bc stencil.Boundary, _ Options) error {
+			return gcr.SmootherReference(st.Inputs[gcr.InX], st.Inputs[gcr.InB], steps, bc)
+		},
+	})
+}

@@ -1,0 +1,46 @@
+package solver
+
+import (
+	"islands/internal/grid"
+	"islands/internal/heat"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+)
+
+// The heat entry is the migrated homogeneous incumbent: one 7-point Jacobi
+// diffusion iteration per step (internal/heat keeps the program definition
+// and the independent sequential reference). Its standard problem is the
+// repo's standard Gaussian blob — the same plane expression the streaming
+// store seeds with, so heat is the second streamable workload: the feedback
+// temperature field is its only input, which makes the out-of-core tile
+// refill trivial (no FillWindow).
+
+func init() {
+	Register(&Entry{
+		Name:        "heat",
+		Description: "7-point Jacobi heat diffusion (homogeneous baseline, single-stage)",
+		NewProgram: func(Options) (*stencil.KernelProgram, error) {
+			return heat.NewProgram(1)
+		},
+		NewState: func(domain grid.Size) (*State, error) {
+			return newState(domain, heat.In, heat.In), nil
+		},
+		SetProblem: func(st *State) { fillStandardBlob(st.Output(), st.Domain) },
+		Reference: func(st *State, steps int, bc stencil.Boundary, _ Options) error {
+			st.Output().CopyFrom(heat.Reference(st.Output(), steps, bc))
+			return nil
+		},
+		Stream: &StreamSupport{SeedPlane: mpdata.StandardPsiPlane},
+	})
+}
+
+// fillStandardBlob writes the repo's standard Gaussian blob into f,
+// plane-by-plane through the same mpdata.StandardPsiPlane expression the
+// streaming executor seeds spill stores with — the bit-for-bit link between
+// resident and streamed heat runs.
+func fillStandardBlob(f *grid.Field, domain grid.Size) {
+	planeCells := domain.NJ * domain.NK
+	for i := 0; i < domain.NI; i++ {
+		mpdata.StandardPsiPlane(f.Data[i*planeCells:(i+1)*planeCells], domain, i)
+	}
+}

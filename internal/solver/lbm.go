@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"math"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// Lattice-Boltzmann D2Q9 (collide + stream), the many-field workload of the
+// catalog. The executor advances one feedback field, so the nine
+// distribution functions pack along the never-partitioned k axis (NK must be
+// exactly 9, k = discrete-velocity index q — the component-axis convention
+// of docs/SOLVERS.md). The collide stage reads all nine components of a
+// column — declared as the (0,0,dk) offset superset, every read in-domain —
+// and the stream stage shifts each component by its lattice velocity, which
+// is where the per-step (i,j) halo of one cell comes from. Boundary
+// semantics follow the executor's conditions: Periodic is the standard
+// torus, Clamp replicates edge distributions (a deterministic, bit-testable
+// closure rather than a physical wall).
+
+// lbmNQ is the D2Q9 component count (the packed k-extent).
+const lbmNQ = 9
+
+// lbmTau is the fixed BGK relaxation time (0.6 keeps the collision
+// non-degenerate: tau=1 would overwrite f with its equilibrium).
+const lbmTau = 0.6
+
+// D2Q9 lattice velocities and weights, in the conventional order: rest,
+// axis-aligned, diagonals.
+var (
+	lbmCI = [lbmNQ]int{0, 1, 0, -1, 0, 1, -1, -1, 1}
+	lbmCJ = [lbmNQ]int{0, 0, 1, 0, -1, 1, 1, -1, -1}
+	lbmW  = [lbmNQ]float64{4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36}
+)
+
+const lbmIn = "f"
+
+func init() {
+	columnOffsets := make([]stencil.Offset, 0, 2*lbmNQ-1)
+	for dk := -(lbmNQ - 1); dk <= lbmNQ-1; dk++ {
+		columnOffsets = append(columnOffsets, stencil.Offset{DK: dk})
+	}
+	var neighborOffsets []stencil.Offset
+	for di := -1; di <= 1; di++ {
+		for dj := -1; dj <= 1; dj++ {
+			neighborOffsets = append(neighborOffsets, stencil.Offset{DI: di, DJ: dj})
+		}
+	}
+	stages := []stencil.KernelStage{
+		{
+			Stage: stencil.Stage{
+				Name:   "coll",
+				Inputs: []stencil.Input{{From: lbmIn, Offsets: columnOffsets}},
+				Flops:  60, // moment sums + equilibrium + BGK relaxation per component
+			},
+			Kernel: func(env *stencil.Env, r grid.Region) {
+				src, out := env.Field(lbmIn), env.Field("coll")
+				stencil.ForEach(r, func(i, j, q int) {
+					out.Set(i, j, q, lbmCollide(src, i, j, q))
+				})
+			},
+		},
+		{
+			Stage: stencil.Stage{
+				Name:   "fq",
+				Inputs: []stencil.Input{{From: "coll", Offsets: neighborOffsets}},
+				Flops:  1,
+			},
+			Kernel: func(env *stencil.Env, r grid.Region) {
+				coll, out := env.Field("coll"), env.Field("fq")
+				stencil.ForEach(r, func(i, j, q int) {
+					out.Set(i, j, q, env.AtP(coll, i-lbmCI[q], j-lbmCJ[q], q))
+				})
+			},
+		},
+	}
+	newProgram := func(Options) (*stencil.KernelProgram, error) {
+		kp, err := stencil.BuildProgram("lbm-d2q9", []string{lbmIn}, "fq", stages)
+		if err != nil {
+			return nil, err
+		}
+		kp.Program.Feedback = lbmIn
+		return kp, nil
+	}
+	Register(&Entry{
+		Name:        "lbm",
+		Description: "lattice-Boltzmann D2Q9 stream+collide (9 distributions packed along k)",
+		CheckDomain: requireNK(lbmNQ, "the 9 D2Q9 distributions pack along the k axis"),
+		NewProgram:  newProgram,
+		NewState: func(domain grid.Size) (*State, error) {
+			return newState(domain, lbmIn, lbmIn), nil
+		},
+		SetProblem: func(st *State) { lbmSetProblem(st.Output(), st.Domain) },
+		Reference:  lbmReference,
+	})
+}
+
+// lbmCollide returns the post-collision value of component q at (i,j):
+// moments summed over the packed column, BGK relaxation toward the D2Q9
+// equilibrium. All reads are in-domain (the column is never cut by the
+// partitioner), so no boundary resolution is involved.
+func lbmCollide(f *grid.Field, i, j, q int) float64 {
+	var rho, jx, jy float64
+	for r := 0; r < lbmNQ; r++ {
+		v := f.At(i, j, r)
+		rho += v
+		jx += float64(lbmCI[r]) * v
+		jy += float64(lbmCJ[r]) * v
+	}
+	ux, uy := jx/rho, jy/rho
+	usq := ux*ux + uy*uy
+	cu := float64(lbmCI[q])*ux + float64(lbmCJ[q])*uy
+	feq := lbmW[q] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*usq)
+	fq := f.At(i, j, q)
+	return fq + (feq-fq)/lbmTau
+}
+
+// lbmEquilibrium returns the equilibrium distribution for component q at
+// density rho and velocity (ux, uy) — the initial-condition fill.
+func lbmEquilibrium(q int, rho, ux, uy float64) float64 {
+	usq := ux*ux + uy*uy
+	cu := float64(lbmCI[q])*ux + float64(lbmCJ[q])*uy
+	return lbmW[q] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*usq)
+}
+
+// lbmSetProblem initializes f to the equilibrium of a double shear flow:
+// unit density with a smooth sinusoidal velocity perturbation (peak Mach
+// 0.05, well inside the incompressible regime).
+func lbmSetProblem(f *grid.Field, domain grid.Size) {
+	ni, nj := float64(domain.NI), float64(domain.NJ)
+	f.FillFunc(func(i, j, q int) float64 {
+		ux := 0.05 * math.Sin(2*math.Pi*float64(j)/nj)
+		uy := 0.05 * math.Sin(2*math.Pi*float64(i)/ni)
+		return lbmEquilibrium(q, 1, ux, uy)
+	})
+}
+
+// lbmReference advances the packed field sequentially: a full-domain collide
+// pass into scratch, then a stream pass — independent of the compiled
+// executor, with the identical per-cell float sequence.
+func lbmReference(st *State, steps int, bc stencil.Boundary, _ Options) error {
+	f := st.Output()
+	coll := grid.NewField("lbm.ref.coll", st.Domain)
+	next := grid.NewField("lbm.ref.next", st.Domain)
+	env := &stencil.Env{Domain: st.Domain, BC: bc}
+	whole := grid.WholeRegion(st.Domain)
+	for t := 0; t < steps; t++ {
+		stencil.ForEach(whole, func(i, j, q int) {
+			coll.Set(i, j, q, lbmCollide(f, i, j, q))
+		})
+		stencil.ForEach(whole, func(i, j, q int) {
+			next.Set(i, j, q, env.AtP(coll, i-lbmCI[q], j-lbmCJ[q], q))
+		})
+		f.CopyFrom(next)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"islands/internal/grid"
+	"islands/internal/mpdata"
+	"islands/internal/stencil"
+)
+
+// The mpdata entry wraps the repo's original workload: the paper's 17-stage
+// heterogeneous advection program. It is the only entry consuming the
+// MPDATA-specific Options (IORD, Unlimited) and the incumbent streaming
+// workload (plane-seeded Gaussian, analytic velocity refills).
+
+func init() {
+	Register(&Entry{
+		Name:          "mpdata",
+		Description:   "MPDATA advection (paper's 17-stage heterogeneous program; IORD/limiter options)",
+		MPDATAOptions: true,
+		NewProgram: func(opt Options) (*stencil.KernelProgram, error) {
+			return mpdata.NewProgramWithOptions(mpdataOptions(opt))
+		},
+		NewState: func(domain grid.Size) (*State, error) {
+			ms := mpdata.NewState(domain)
+			return &State{Domain: domain, Inputs: ms.InputMap(), Feedback: mpdata.InPsi}, nil
+		},
+		SetProblem: func(st *State) { mpState(st).SetStandardProblem() },
+		Reference: func(st *State, steps int, bc stencil.Boundary, opt Options) error {
+			prog, err := mpdata.NewProgramWithOptions(mpdataOptions(opt))
+			if err != nil {
+				return err
+			}
+			return SequentialReference(prog, st, steps, bc)
+		},
+		Stream: &StreamSupport{
+			SeedPlane: mpdata.StandardPsiPlane,
+			FillWindow: func(st *State, global grid.Size, gi func(li int) int) {
+				mpState(st).StandardVelocitiesWindow(global, gi)
+			},
+		},
+	})
+}
+
+// mpdataOptions maps the catalog options onto the MPDATA program build,
+// applying the paper's defaults for unset fields.
+func mpdataOptions(opt Options) mpdata.Options {
+	o := mpdata.Options{IORD: opt.IORD, NonOscillatory: !opt.Unlimited}
+	if o.IORD == 0 {
+		o.IORD = 2
+	}
+	return o
+}
+
+// mpState views a catalog state as the mpdata field bundle (the fields are
+// shared, not copied).
+func mpState(st *State) *mpdata.State {
+	return &mpdata.State{
+		Domain: st.Domain,
+		Psi:    st.Inputs[mpdata.InPsi],
+		U1:     st.Inputs[mpdata.InU1],
+		U2:     st.Inputs[mpdata.InU2],
+		U3:     st.Inputs[mpdata.InU3],
+		H:      st.Inputs[mpdata.InH],
+	}
+}

@@ -1,0 +1,191 @@
+package solver
+
+import (
+	"math"
+
+	"islands/internal/grid"
+	"islands/internal/stencil"
+)
+
+// 2D shallow-water equations in flux form, advanced by a Lax-Friedrichs
+// step — the nonlinear, multi-component workload. The three conserved
+// unknowns (h, hu, hv) pack along the k axis (NK must be exactly 3, the
+// component-axis convention of docs/SOLVERS.md). The stage DAG is the
+// catalog's widest: two sibling flux stages (fx, gy) both read the packed
+// state column, and the combiner stage reads the state plus both flux
+// fields at neighbor offsets — a diamond, not a chain, so fusion and halo
+// composition are exercised on branching structure.
+
+// Packed component indices along k.
+const (
+	sweH  = 0 // water depth h
+	sweHU = 1 // x momentum h·u
+	sweHV = 2 // y momentum h·v
+	sweNC = 3
+)
+
+// sweG is the (scaled) gravitational constant and sweDtDx the time step over
+// cell size; with depth near 1 the gravity-wave speed is ~1, so dt/dx = 0.2
+// sits comfortably inside the Lax-Friedrichs stability bound.
+const (
+	sweG    = 1.0
+	sweDtDx = 0.2
+)
+
+const sweIn = "u"
+
+func init() {
+	columnOffsets := make([]stencil.Offset, 0, 2*sweNC-1)
+	for dk := -(sweNC - 1); dk <= sweNC-1; dk++ {
+		columnOffsets = append(columnOffsets, stencil.Offset{DK: dk})
+	}
+	iNbrs := []stencil.Offset{{DI: -1}, {DI: 1}}
+	jNbrs := []stencil.Offset{{DJ: -1}, {DJ: 1}}
+	cross := []stencil.Offset{{DI: -1}, {DI: 1}, {DJ: -1}, {DJ: 1}}
+	stages := []stencil.KernelStage{
+		{
+			Stage: stencil.Stage{
+				Name:   "fx",
+				Inputs: []stencil.Input{{From: sweIn, Offsets: columnOffsets}},
+				Flops:  6,
+			},
+			Kernel: func(env *stencil.Env, r grid.Region) {
+				u, out := env.Field(sweIn), env.Field("fx")
+				stencil.ForEach(r, func(i, j, c int) {
+					out.Set(i, j, c, sweFluxX(u, i, j, c))
+				})
+			},
+		},
+		{
+			Stage: stencil.Stage{
+				Name:   "gy",
+				Inputs: []stencil.Input{{From: sweIn, Offsets: columnOffsets}},
+				Flops:  6,
+			},
+			Kernel: func(env *stencil.Env, r grid.Region) {
+				u, out := env.Field(sweIn), env.Field("gy")
+				stencil.ForEach(r, func(i, j, c int) {
+					out.Set(i, j, c, sweFluxY(u, i, j, c))
+				})
+			},
+		},
+		{
+			Stage: stencil.Stage{
+				Name: "unew",
+				Inputs: []stencil.Input{
+					{From: sweIn, Offsets: cross},
+					{From: "fx", Offsets: iNbrs},
+					{From: "gy", Offsets: jNbrs},
+				},
+				Flops: 10,
+			},
+			Kernel: func(env *stencil.Env, r grid.Region) {
+				u, fx, gy := env.Field(sweIn), env.Field("fx"), env.Field("gy")
+				out := env.Field("unew")
+				stencil.ForEach(r, func(i, j, c int) {
+					out.Set(i, j, c, sweUpdate(env, u, fx, gy, i, j, c))
+				})
+			},
+		},
+	}
+	newProgram := func(Options) (*stencil.KernelProgram, error) {
+		kp, err := stencil.BuildProgram("shallow-water", []string{sweIn}, "unew", stages)
+		if err != nil {
+			return nil, err
+		}
+		kp.Program.Feedback = sweIn
+		return kp, nil
+	}
+	Register(&Entry{
+		Name:        "swe",
+		Description: "2D shallow-water, Lax-Friedrichs flux form (h, hu, hv packed along k)",
+		CheckDomain: requireNK(sweNC, "the conserved components h, hu, hv pack along the k axis"),
+		NewProgram:  newProgram,
+		NewState: func(domain grid.Size) (*State, error) {
+			return newState(domain, sweIn, sweIn), nil
+		},
+		SetProblem: func(st *State) { sweSetProblem(st.Output(), st.Domain) },
+		Reference:  sweReference,
+	})
+}
+
+// sweFluxX returns component c of the x flux F(U) at (i,j) — all reads
+// in-domain on the packed column.
+func sweFluxX(u *grid.Field, i, j, c int) float64 {
+	h := u.At(i, j, sweH)
+	hu := u.At(i, j, sweHU)
+	hv := u.At(i, j, sweHV)
+	switch c {
+	case sweH:
+		return hu
+	case sweHU:
+		return hu*hu/h + 0.5*sweG*h*h
+	default:
+		return hu * hv / h
+	}
+}
+
+// sweFluxY returns component c of the y flux G(U) at (i,j).
+func sweFluxY(u *grid.Field, i, j, c int) float64 {
+	h := u.At(i, j, sweH)
+	hu := u.At(i, j, sweHU)
+	hv := u.At(i, j, sweHV)
+	switch c {
+	case sweH:
+		return hv
+	case sweHU:
+		return hu * hv / h
+	default:
+		return hv*hv/h + 0.5*sweG*h*h
+	}
+}
+
+// sweUpdate is the Lax-Friedrichs combiner at one cell: the 4-neighbour
+// average minus central flux differences.
+func sweUpdate(env *stencil.Env, u, fx, gy *grid.Field, i, j, c int) float64 {
+	avg := 0.25 * (env.AtP(u, i-1, j, c) + env.AtP(u, i+1, j, c) +
+		env.AtP(u, i, j-1, c) + env.AtP(u, i, j+1, c))
+	dfx := env.AtP(fx, i+1, j, c) - env.AtP(fx, i-1, j, c)
+	dgy := env.AtP(gy, i, j+1, c) - env.AtP(gy, i, j-1, c)
+	return avg - 0.5*sweDtDx*dfx - 0.5*sweDtDx*dgy
+}
+
+// sweSetProblem writes the standard dam-break-like problem: still water of
+// unit depth with a centered Gaussian mound, zero momentum.
+func sweSetProblem(u *grid.Field, domain grid.Size) {
+	ci := float64(domain.NI) / 2
+	cj := float64(domain.NJ) / 2
+	sigma := math.Max(float64(min(domain.NI, domain.NJ))/8, 1)
+	u.FillFunc(func(i, j, c int) float64 {
+		if c != sweH {
+			return 0
+		}
+		di := float64(i) + 0.5 - ci
+		dj := float64(j) + 0.5 - cj
+		return 1 + 0.25*math.Exp(-(di*di+dj*dj)/(2*sigma*sigma))
+	})
+}
+
+// sweReference advances the packed state sequentially with the identical
+// per-cell float sequence: flux passes into scratch, then the combiner.
+func sweReference(st *State, steps int, bc stencil.Boundary, _ Options) error {
+	u := st.Output()
+	fx := grid.NewField("swe.ref.fx", st.Domain)
+	gy := grid.NewField("swe.ref.gy", st.Domain)
+	next := grid.NewField("swe.ref.next", st.Domain)
+	env := &stencil.Env{Domain: st.Domain, BC: bc}
+	whole := grid.WholeRegion(st.Domain)
+	for t := 0; t < steps; t++ {
+		stencil.ForEach(whole, func(i, j, c int) {
+			fx.Set(i, j, c, sweFluxX(u, i, j, c))
+		})
+		stencil.ForEach(whole, func(i, j, c int) {
+			gy.Set(i, j, c, sweFluxY(u, i, j, c))
+		})
+		stencil.ForEach(whole, func(i, j, c int) {
+			next.Set(i, j, c, sweUpdate(env, u, fx, gy, i, j, c))
+		})
+		u.CopyFrom(next)
+	}
+	return nil
+}

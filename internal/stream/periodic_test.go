@@ -25,19 +25,19 @@ func solverRun(t *testing.T, domain grid.Size, bc stencil.Boundary, steps int) *
 	return state.Psi
 }
 
-// TestStreamIslandsPeriodicSolverExact pins the two facts behind the
-// residentRun baseline fallback:
+// TestStreamIslandsPeriodicSolverExact pins that BOTH execution paths are
+// solver-exact for IslandsOfCores under a Periodic boundary:
 //
-//  1. The resident IslandsOfCores executor is NOT solver-exact under a
-//     Periodic i-boundary — its wrap-edge halo exchange leaves stale values
-//     near the seam, a gap the executor's own reference tests (Clamp-only
-//     for islands) never exercise. If this sub-test ever starts failing
-//     because the diff became zero, the upstream gap was fixed and the
-//     baseline fallback in residentRun can be removed.
-//  2. The STREAMED islands run is solver-exact there: every tile's halo is
-//     loaded from committed correct planes and the redundant-trapezoid
-//     argument confines cut-edge garbage to the discarded shell, regardless
-//     of the boundary condition.
+//  1. The resident executor, whose block-major walk used to leave stale
+//     values near the wrap seam (edge islands never computed the opposite
+//     face's wrap images). The periodic wrap bands in internal/exec/wrap.go
+//     close that gap, so the resident run is now required to be
+//     bit-identical — residentRun's former Original-strategy fallback for
+//     this combination is gone.
+//  2. The STREAMED islands run, where every tile's halo is loaded from
+//     committed correct planes and the redundant-trapezoid argument confines
+//     cut-edge garbage to the discarded shell, regardless of the boundary
+//     condition.
 func TestStreamIslandsPeriodicSolverExact(t *testing.T) {
 	machine, err := topology.UV2000(2)
 	if err != nil {
@@ -63,8 +63,8 @@ func TestStreamIslandsPeriodicSolverExact(t *testing.T) {
 		}
 		r.SyncFeedback()
 		r.Close()
-		if d := grid.MaxAbsDiff(state.Psi, ref); d == 0 {
-			t.Errorf("steps=%d: resident islands+periodic became solver-exact; drop the baseline fallback in residentRun", steps)
+		if d := grid.MaxAbsDiff(state.Psi, ref); d != 0 {
+			t.Errorf("steps=%d: resident islands+periodic differs from solver by %v, want bit-identical", steps, d)
 		}
 
 		s, err := New(Options{Dir: t.TempDir(), Exec: cfg, Domain: domain, TilePlanes: 2, NoPrefetch: true})

@@ -13,6 +13,7 @@ import (
 	"islands/internal/exec"
 	"islands/internal/grid"
 	"islands/internal/mpdata"
+	"islands/internal/solver"
 	"islands/internal/stencil"
 )
 
@@ -36,7 +37,13 @@ type Options struct {
 	Exec exec.Config
 	// Domain is the global domain (which need not fit in memory).
 	Domain grid.Size
-	// IORD and Unlimited select the MPDATA program variant, as in serving.
+	// Solver names the catalog entry to stream ("" = mpdata). Only
+	// streamable entries — those with plane-seeding support — are
+	// accepted; the rest have no way to fill a tile's windows from the
+	// global coordinates.
+	Solver string
+	// IORD and Unlimited select the program variant for solvers with
+	// MPDATA options, as in serving.
 	IORD      int
 	Unlimited bool
 	// TilePlanes bounds each tile's owned i-planes (0 = one whole-domain
@@ -121,8 +128,11 @@ type Checksums struct {
 // written with grid.WriteFileAtomic after each tile's planes are synced, so
 // a kill at any instant resumes on the correct tile.
 type checkpoint struct {
-	Version    int     `json:"version"`
-	Domain     [3]int  `json:"domain"`
+	Version    int    `json:"version"`
+	Domain     [3]int `json:"domain"`
+	// Solver records which catalog entry wrote the store; resume rejects a
+	// run requesting a different solver (the planes would be meaningless).
+	Solver     string  `json:"solver"`
 	Steps      int     `json:"steps"`
 	K          int     `json:"k"`
 	TilePlanes int     `json:"tile_planes"`
@@ -160,16 +170,17 @@ type engineKey struct {
 }
 
 type tileEngine struct {
-	state  *mpdata.State
+	state  *solver.State
 	runner *exec.Runner
 }
 
 // Streamer drives one streamed run. It is not safe for concurrent use except
 // for Abort, which may be called from any goroutine.
 type Streamer struct {
-	o    Options
-	plan *Plan
-	prog *stencil.KernelProgram
+	o     Options
+	plan  *Plan
+	entry *solver.Entry
+	prog  *stencil.KernelProgram
 
 	files [2]*grid.PlaneFile
 	ck    checkpoint
@@ -201,10 +212,23 @@ func New(o Options) (*Streamer, error) {
 	if o.Dir == "" {
 		return nil, fmt.Errorf("stream: config needs a spill directory")
 	}
-	if o.IORD <= 0 {
+	entry, err := solver.Lookup(o.Solver)
+	if err != nil {
+		return nil, err
+	}
+	if !entry.Streamable() {
+		return nil, fmt.Errorf("stream: solver %q has no plane-seeding support and cannot be streamed", entry.Name)
+	}
+	o.Solver = entry.Name
+	if entry.CheckDomain != nil {
+		if err := entry.CheckDomain(o.Domain); err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+	}
+	if entry.MPDATAOptions && o.IORD <= 0 {
 		o.IORD = mpdata.DefaultOptions().IORD
 	}
-	prog, err := mpdata.NewProgramWithOptions(mpdata.Options{IORD: o.IORD, NonOscillatory: !o.Unlimited})
+	prog, err := entry.NewProgram(solver.Options{IORD: o.IORD, Unlimited: o.Unlimited})
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +243,7 @@ func New(o Options) (*Streamer, error) {
 	if o.Exec.Steps > 0 && k > o.Exec.Steps {
 		k = o.Exec.Steps
 	}
-	fext := analysis.InputExtents[mpdata.InPsi]
+	fext := analysis.InputExtents[prog.Program.Feedback]
 	plan, err := NewPlan(o.Domain, o.Exec.Steps, k, o.TilePlanes, fext.Scale(k), o.Exec.Boundary)
 	if err != nil {
 		return nil, err
@@ -236,7 +260,7 @@ func New(o Options) (*Streamer, error) {
 		return nil, err
 	}
 
-	s := &Streamer{o: o, plan: plan, prog: prog, engines: make(map[engineKey]*tileEngine)}
+	s := &Streamer{o: o, plan: plan, entry: entry, prog: prog, engines: make(map[engineKey]*tileEngine)}
 	s.stats.Tiles = len(plan.Tiles)
 	s.stats.Sweeps = plan.Sweeps
 	s.stats.Prefetch = !o.NoPrefetch
@@ -309,13 +333,14 @@ func (s *Streamer) openStore() error {
 	if s.files[1], err = grid.CreatePlaneFile(filepath.Join(s.o.Dir, psiFile1), s.o.Domain); err != nil {
 		return err
 	}
-	// Seed sweep 0's input with the initial condition one plane at a time,
-	// folding the cells into the mass accumulator in the same flat order as
-	// a resident Field.Sum — the conservation baseline is bit-identical.
+	// Seed sweep 0's input with the solver's initial condition one plane at
+	// a time, folding the cells into the mass accumulator in the same flat
+	// order as a resident Field.Sum — the conservation baseline is
+	// bit-identical.
 	plane := make([]float64, grid.PlaneBytes(s.o.Domain)/grid.CellBytes)
 	var acc grid.SumAccumulator
 	for i := 0; i < s.o.Domain.NI; i++ {
-		mpdata.StandardPsiPlane(plane, s.o.Domain, i)
+		s.entry.Stream.SeedPlane(plane, s.o.Domain, i)
 		for _, v := range plane {
 			acc.Add(v)
 		}
@@ -335,6 +360,7 @@ func (s *Streamer) checkpointAt(sweep, tile int, massIn float64) checkpoint {
 	return checkpoint{
 		Version:    1,
 		Domain:     [3]int{s.o.Domain.NI, s.o.Domain.NJ, s.o.Domain.NK},
+		Solver:     s.o.Solver,
 		Steps:      s.plan.Steps,
 		K:          s.plan.K,
 		TilePlanes: s.plan.TilePlanes,
@@ -357,8 +383,8 @@ func (s *Streamer) resumeStore(raw []byte) error {
 	}
 	want := s.checkpointAt(ck.Sweep, ck.Tile, ck.MassIn)
 	if ck != want {
-		return fmt.Errorf("stream: checkpoint in %s was written by an incompatible run (domain %dx%dx%d steps=%d k=%d tile_planes=%d)",
-			s.o.Dir, ck.Domain[0], ck.Domain[1], ck.Domain[2], ck.Steps, ck.K, ck.TilePlanes)
+		return fmt.Errorf("stream: checkpoint in %s was written by an incompatible run (solver=%s domain %dx%dx%d steps=%d k=%d tile_planes=%d)",
+			s.o.Dir, ck.Solver, ck.Domain[0], ck.Domain[1], ck.Domain[2], ck.Steps, ck.K, ck.TilePlanes)
 	}
 	if ck.Sweep < 0 || ck.Sweep > s.plan.Sweeps || ck.Tile < 0 || ck.Tile >= len(s.plan.Tiles) {
 		return fmt.Errorf("stream: checkpoint in %s records out-of-range progress sweep=%d tile=%d", s.o.Dir, ck.Sweep, ck.Tile)
@@ -493,8 +519,11 @@ func (s *Streamer) engine(extNI, steps int) (*tileEngine, error) {
 	} else {
 		cfg.KSteps = 0
 	}
-	state := mpdata.NewState(tileSize(s.o.Domain, extNI))
-	runner, err := exec.NewRunner(cfg, s.prog, state.InputMap(), mpdata.InPsi)
+	state, err := s.entry.NewState(tileSize(s.o.Domain, extNI))
+	if err != nil {
+		return nil, err
+	}
+	runner, err := exec.NewRunner(cfg, s.prog, state.Inputs, state.Feedback)
 	if err != nil {
 		return nil, err
 	}
@@ -528,10 +557,15 @@ func (s *Streamer) computeTile(sweep, t, steps int, buf, out []float64) error {
 		return err
 	}
 	planeCells := int(grid.PlaneBytes(s.o.Domain) / grid.CellBytes)
-	copy(eng.state.Psi.Data, buf[:extNI*planeCells])
-	eng.state.StandardVelocitiesWindow(s.o.Domain, func(li int) int {
-		return s.plan.globalPlane(base, li)
-	})
+	fb := eng.state.Output()
+	copy(fb.Data, buf[:extNI*planeCells])
+	if s.entry.Stream.FillWindow != nil {
+		// Non-feedback step inputs (mpdata's velocities) are refilled from
+		// the tile's global plane coordinates.
+		s.entry.Stream.FillWindow(eng.state, s.o.Domain, func(li int) int {
+			return s.plan.globalPlane(base, li)
+		})
+	}
 	eng.runner.ReloadFeedback()
 
 	s.mu.Lock()
@@ -556,7 +590,7 @@ func (s *Streamer) computeTile(sweep, t, steps int, buf, out []float64) error {
 	}
 	eng.runner.SyncFeedback()
 	width := s.plan.Tiles[t].Width()
-	copy(out[:width*planeCells], eng.state.Psi.Data[extLo*planeCells:(extLo+width)*planeCells])
+	copy(out[:width*planeCells], fb.Data[extLo*planeCells:(extLo+width)*planeCells])
 	return nil
 }
 
@@ -793,7 +827,7 @@ func (s *Streamer) ReadResult() (*grid.Field, error) {
 	if !s.Done() {
 		return nil, fmt.Errorf("stream: result requested before completion")
 	}
-	f := grid.NewField(mpdata.InPsi, s.o.Domain)
+	f := grid.NewField(s.prog.Program.Feedback, s.o.Domain)
 	res := s.files[s.plan.Sweeps%2]
 	if err := res.ReadPlanes(f.Data, 0, s.o.Domain.NI); err != nil {
 		return nil, err

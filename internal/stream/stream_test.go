@@ -15,19 +15,14 @@ import (
 )
 
 // residentRun advances the standard problem on a resident domain with the
-// same executor configuration the streamed run uses per tile. For the one
-// combination where the resident executor itself is not solver-exact —
-// IslandsOfCores under a Periodic i-boundary, whose wrap-edge halo exchange
-// leaves garbage the repo's own tests never cover (islands are reference-
-// tested only under Clamp) — the baseline falls back to Original, which
-// TestStreamIslandsPeriodicSolverExact pins as bit-identical to the
-// reference solver. The streamed run is solver-exact there too, because tile
-// halos are always loaded from committed correct planes.
+// same executor configuration the streamed run uses per tile. Every
+// strategy/boundary combination is solver-exact on the resident path —
+// including IslandsOfCores under a Periodic boundary, which the executor's
+// wrap bands (internal/exec/wrap.go) made exact — so the baseline runs the
+// requested configuration verbatim; TestStreamIslandsPeriodicSolverExact
+// pins the periodic case.
 func residentRun(t *testing.T, cfg exec.Config, domain grid.Size, iord int, unlimited bool) (*grid.Field, float64) {
 	t.Helper()
-	if cfg.Strategy == exec.IslandsOfCores && cfg.Boundary == stencil.Periodic {
-		cfg.Strategy = exec.Original
-	}
 	if iord <= 0 {
 		iord = mpdata.DefaultOptions().IORD
 	}

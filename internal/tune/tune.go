@@ -33,6 +33,11 @@ import (
 // numerical results or the resources the user asked for. Everything else
 // (Knobs) is fair game — every knob is bit-identity-preserving.
 type Class struct {
+	// Solver names the catalog entry whose program the class runs ("" is
+	// read as the catalog default by the program builder). Different
+	// solvers have different stage graphs and costs, so they never share a
+	// candidate ranking.
+	Solver     string
 	Domain     grid.Size
 	Processors int
 	// Variant is the requested 1D island mapping. It shapes the partition
@@ -40,7 +45,8 @@ type Class struct {
 	// comparable with the advisor's mapping sweep for the same request.
 	Variant  decomp.Variant
 	Boundary stencil.Boundary
-	// IORD and Unlimited select the MPDATA program build.
+	// IORD and Unlimited select the program build for solvers with MPDATA
+	// options (zero for the rest).
 	IORD      int
 	Unlimited bool
 	// DisableHaloExchange is the publish ablation — a class axis, not a

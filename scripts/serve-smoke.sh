@@ -1,5 +1,5 @@
 #!/bin/sh
-# serve-smoke.sh — end-to-end smoke test of the serving subsystem, in three
+# serve-smoke.sh — end-to-end smoke test of the serving subsystem, in four
 # phases:
 #
 #   1. Single server: start mpdata-serve on a random port, push one small job
@@ -17,6 +17,9 @@
 #      mid-way through a long durable streamed job, restart it on the same
 #      spill directory, resubmit the same stream_id, and assert the job
 #      completes with zero failures from the surviving checkpoint.
+#   4. Solver catalog (docs/SOLVERS.md): submit one job per catalog solver
+#      through a router and assert each succeeded, with the replica's
+#      per-solver metric labels accounting for every entry.
 #
 # Usage:
 #
@@ -320,3 +323,81 @@ if ! grep -q "drained cleanly" "$stlog"; then
 fi
 pids=""
 echo "serve-smoke: phase 3 OK (crash survived, resumed_total=$resumed, clean drain)"
+
+# ---------------------------------------------------------------- phase 4 --
+# Solver catalog: one job per catalog entry through the router. Every solver
+# must serve end-to-end — solver-aware cache keys and routing hash — and the
+# replica's per-solver metric labels must account for each of them.
+
+go build -o "$bindir/stencil-info" ./cmd/stencil-info
+catalog=$("$bindir/stencil-info" -solvers | tail -n +2 | awk '{print $1}')
+
+# Solvers that pack components along k need their own grid (docs/SOLVERS.md);
+# everything else runs the shared phase-1 grid.
+solver_grid() {
+    case $1 in
+        lbm)  echo 48x32x9 ;;
+        swe)  echo 48x48x3 ;;
+        wave) echo 48x48x2 ;;
+        life) echo 48x48x1 ;;
+        *)    echo 48x32x8 ;;
+    esac
+}
+
+s4log="$bindir/solver-replica.log"
+s4rtlog="$bindir/solver-router.log"
+"$bindir/mpdata-serve" -addr 127.0.0.1:0 -slots 2 >"$s4log" 2>&1 &
+s4_pid=$!
+pids="$s4_pid"
+s4_url=$(scrape_url "$s4log" "$s4_pid" mpdata-serve)
+"$bindir/mpdata-router" -addr 127.0.0.1:0 -replicas "$s4_url" >"$s4rtlog" 2>&1 &
+s4rt_pid=$!
+pids="$pids $s4rt_pid"
+s4rt_url=$(scrape_url "$s4rtlog" "$s4rt_pid" mpdata-router)
+echo "serve-smoke: solver-catalog router at $s4rt_url over $s4_url"
+
+solver_jobs=0
+for sv in $catalog; do
+    "$bindir/mpdata-load" -addr "$s4rt_url" -jobs 1 -concurrency 1 \
+        -grids "$(solver_grid "$sv")" -steps 3 -p 2 -strategies islands \
+        -solvers "$sv"
+    solver_jobs=$((solver_jobs + 1))
+done
+if [ "$solver_jobs" -lt 5 ]; then
+    echo "serve-smoke: catalog listed only $solver_jobs solvers, want >= 5" >&2
+    exit 1
+fi
+
+failed=$(metric_value "$s4rt_url" fleet_jobs_failed_total)
+succeeded=$(metric_value "$s4rt_url" fleet_jobs_succeeded_total)
+if [ "$failed" != "0" ]; then
+    echo "serve-smoke: solver-catalog router reports $failed failed jobs" >&2
+    exit 1
+fi
+if [ "$succeeded" != "$solver_jobs" ]; then
+    echo "serve-smoke: router reports $succeeded succeeded jobs, want $solver_jobs" >&2
+    exit 1
+fi
+# Per-solver labels on the replica: exactly one succeeded job per entry.
+for sv in $catalog; do
+    v=$(curl -fsS "$s4_url/metrics" |
+        awk -v s="serve_jobs_succeeded_total{solver=\"$sv\"}" '$1 == s {print $2}')
+    if [ "$v" != "1" ]; then
+        echo "serve-smoke: serve_jobs_succeeded_total{solver=\"$sv\"}=$v, want 1" >&2
+        curl -fsS "$s4_url/metrics" | grep '^serve_jobs' >&2 || true
+        exit 1
+    fi
+done
+
+kill -TERM "$s4rt_pid"
+rc=0
+wait "$s4rt_pid" || rc=$?
+if [ "$rc" != "0" ]; then
+    echo "serve-smoke: solver-catalog router exited $rc after SIGTERM" >&2
+    cat "$s4rtlog" >&2
+    exit 1
+fi
+kill -TERM "$s4_pid" 2>/dev/null || true
+wait "$s4_pid" 2>/dev/null || true
+pids=""
+echo "serve-smoke: phase 4 OK ($solver_jobs catalog solvers served through the router)"
